@@ -1,0 +1,88 @@
+// Shared scaffolding for the experiment harnesses (E1-E12 in DESIGN.md).
+//
+// Every harness runs argument-free at the "default" scale (laptop-friendly,
+// minutes for the whole suite) and accepts:
+//   --scale=small|default|full   coarse knob multiplying sizes and reps
+//   --seed=<u64>                 base seed (default 20170529, the IPDPS date)
+//   --reps=<k>                   override replication count
+//   --csv                        also emit CSV blocks for plotting
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace rlslb::bench {
+
+struct BenchContext {
+  double scale = 1.0;       // size multiplier
+  std::int64_t reps = 0;    // 0 = per-experiment default
+  std::uint64_t seed = 20170529;
+  bool csv = false;
+  WallTimer timer;
+
+  /// Scaled replication count.
+  [[nodiscard]] std::int64_t repsOr(std::int64_t dflt) const {
+    if (reps > 0) return reps;
+    const auto r = static_cast<std::int64_t>(static_cast<double>(dflt) * scale);
+    return r < 2 ? 2 : r;
+  }
+  /// Scaled size (rounded to a multiple of `quantum` for n | m constraints).
+  [[nodiscard]] std::int64_t sized(std::int64_t dflt, std::int64_t quantum = 1) const {
+    auto v = static_cast<std::int64_t>(static_cast<double>(dflt) * scale);
+    if (v < quantum) v = quantum;
+    return v / quantum * quantum;
+  }
+};
+
+inline BenchContext parseArgs(int argc, char** argv, const char* benchName,
+                              const char* whatItReproduces) {
+  CliArgs args(argc, argv);
+  BenchContext ctx;
+  const std::string scale = args.getString("scale", "default");
+  if (scale == "small") {
+    ctx.scale = 0.5;
+  } else if (scale == "default") {
+    ctx.scale = 1.0;
+  } else if (scale == "full") {
+    ctx.scale = 2.0;
+  } else {
+    std::fprintf(stderr, "unknown --scale=%s (small|default|full)\n", scale.c_str());
+    std::exit(2);
+  }
+  ctx.reps = args.getInt("reps", 0);
+  ctx.seed = static_cast<std::uint64_t>(args.getInt("seed", 20170529));
+  ctx.csv = args.getBool("csv", false);
+  const auto unused = args.unusedKeys();
+  if (!unused.empty()) {
+    for (const auto& k : unused) std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+    std::exit(2);
+  }
+  std::printf("==============================================================\n");
+  std::printf("%s\n", benchName);
+  std::printf("reproduces: %s\n", whatItReproduces);
+  std::printf("scale=%s seed=%llu\n", scale.c_str(),
+              static_cast<unsigned long long>(ctx.seed));
+  std::printf("==============================================================\n\n");
+  return ctx;
+}
+
+inline void emitTable(const BenchContext& ctx, const Table& table, const std::string& title) {
+  table.print(std::cout, title);
+  std::cout << '\n';
+  if (ctx.csv) {
+    std::cout << "CSV <<<\n" << table.toCsv() << ">>>\n\n";
+  }
+}
+
+inline void footer(const BenchContext& ctx) {
+  std::printf("[done in %.1f s]\n", ctx.timer.seconds());
+}
+
+}  // namespace rlslb::bench

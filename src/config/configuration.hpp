@@ -1,0 +1,55 @@
+// Labeled-bin configuration: the paper's vector (l_i)_{i in [n]} with
+// sum l_i = m. This is the state of the *labeled* process used by the naive
+// engine, the DML adversary and the baselines; the jump engine uses the
+// lumped ds::LoadMultiset instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/load_multiset.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::config {
+
+class Configuration {
+ public:
+  Configuration() = default;
+
+  explicit Configuration(std::vector<std::int64_t> loads) : loads_(std::move(loads)) {
+    balls_ = 0;
+    for (std::int64_t v : loads_) {
+      RLSLB_ASSERT_MSG(v >= 0, "negative load");
+      balls_ += v;
+    }
+  }
+
+  [[nodiscard]] std::int64_t numBins() const { return static_cast<std::int64_t>(loads_.size()); }
+  [[nodiscard]] std::int64_t numBalls() const { return balls_; }
+  /// Average load, the paper's "avg" symbol; not necessarily an integer.
+  [[nodiscard]] double averageLoad() const {
+    return static_cast<double>(balls_) / static_cast<double>(numBins());
+  }
+  [[nodiscard]] std::int64_t floorAverage() const { return balls_ / numBins(); }
+  [[nodiscard]] std::int64_t ceilAverage() const {
+    return (balls_ + numBins() - 1) / numBins();
+  }
+
+  [[nodiscard]] std::int64_t load(std::size_t bin) const { return loads_[bin]; }
+  [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
+
+  /// Move one ball from `src` to `dst` (no protocol check; engines validate).
+  void moveBall(std::size_t src, std::size_t dst) {
+    RLSLB_ASSERT(loads_[src] >= 1);
+    --loads_[src];
+    ++loads_[dst];
+  }
+
+  [[nodiscard]] ds::LoadMultiset toMultiset() const { return ds::LoadMultiset::fromLoads(loads_); }
+
+ private:
+  std::vector<std::int64_t> loads_;
+  std::int64_t balls_ = 0;
+};
+
+}  // namespace rlslb::config

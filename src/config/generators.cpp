@@ -1,0 +1,126 @@
+#include "config/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::config {
+
+Configuration allInOne(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 1 && m >= 0);
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n), 0);
+  loads[0] = m;
+  return Configuration(std::move(loads));
+}
+
+Configuration balanced(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 1 && m >= 0);
+  const std::int64_t floorAvg = m / n;
+  const std::int64_t extra = m - floorAvg * n;
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n), floorAvg);
+  for (std::int64_t i = 0; i < extra; ++i) ++loads[static_cast<std::size_t>(i)];
+  return Configuration(std::move(loads));
+}
+
+Configuration twoPoint(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 2);
+  RLSLB_ASSERT_MSG(m % n == 0, "twoPoint requires n | m");
+  const std::int64_t avg = m / n;
+  RLSLB_ASSERT_MSG(avg >= 1, "twoPoint requires avg >= 1");
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n), avg);
+  loads[0] = avg + 1;
+  loads[1] = avg - 1;
+  return Configuration(std::move(loads));
+}
+
+Configuration halfHalf(std::int64_t n, std::int64_t m, std::int64_t x) {
+  RLSLB_ASSERT(n >= 2 && n % 2 == 0);
+  RLSLB_ASSERT_MSG(m % n == 0, "halfHalf requires n | m");
+  const std::int64_t avg = m / n;
+  RLSLB_ASSERT_MSG(x >= 0 && x <= avg, "halfHalf requires 0 <= x <= avg");
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n / 2; ++i) loads[static_cast<std::size_t>(i)] = avg + x;
+  for (std::int64_t i = n / 2; i < n; ++i) loads[static_cast<std::size_t>(i)] = avg - x;
+  return Configuration(std::move(loads));
+}
+
+Configuration plusMinusOne(std::int64_t n, std::int64_t m, std::int64_t a) {
+  RLSLB_ASSERT(n >= 2);
+  RLSLB_ASSERT_MSG(m % n == 0, "plusMinusOne requires n | m");
+  RLSLB_ASSERT(a >= 0 && 2 * a <= n);
+  const std::int64_t avg = m / n;
+  RLSLB_ASSERT_MSG(avg >= 1 || a == 0, "plusMinusOne requires avg >= 1");
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n), avg);
+  for (std::int64_t i = 0; i < a; ++i) {
+    ++loads[static_cast<std::size_t>(i)];
+    --loads[static_cast<std::size_t>(n - 1 - i)];
+  }
+  return Configuration(std::move(loads));
+}
+
+Configuration uniformRandom(std::int64_t n, std::int64_t m, rng::Xoshiro256pp& eng) {
+  RLSLB_ASSERT(n >= 1 && m >= 0);
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n), 0);
+  rng::multinomialUniform(eng, m, loads);
+  return Configuration(std::move(loads));
+}
+
+Configuration greedyD(std::int64_t n, std::int64_t m, int d, rng::Xoshiro256pp& eng) {
+  RLSLB_ASSERT(n >= 1 && m >= 0 && d >= 1);
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n), 0);
+  for (std::int64_t b = 0; b < m; ++b) {
+    std::size_t best = static_cast<std::size_t>(rng::uniformIndex(eng, static_cast<std::uint64_t>(n)));
+    for (int k = 1; k < d; ++k) {
+      const auto cand =
+          static_cast<std::size_t>(rng::uniformIndex(eng, static_cast<std::uint64_t>(n)));
+      if (loads[cand] < loads[best]) best = cand;
+    }
+    ++loads[best];
+  }
+  return Configuration(std::move(loads));
+}
+
+Configuration powerLaw(std::int64_t n, std::int64_t m, double alpha) {
+  RLSLB_ASSERT(n >= 1 && m >= 0 && alpha >= 0.0);
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    weight[static_cast<std::size_t>(i)] = std::pow(static_cast<double>(i + 1), -alpha);
+    total += weight[static_cast<std::size_t>(i)];
+  }
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n), 0);
+  std::int64_t assigned = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto share = static_cast<std::int64_t>(
+        std::floor(static_cast<double>(m) * weight[static_cast<std::size_t>(i)] / total));
+    loads[static_cast<std::size_t>(i)] = share;
+    assigned += share;
+  }
+  // Spread the rounding residue round-robin so the total is exactly m.
+  std::int64_t residue = m - assigned;
+  for (std::int64_t i = 0; residue > 0; i = (i + 1) % n, --residue) {
+    ++loads[static_cast<std::size_t>(i)];
+  }
+  return Configuration(std::move(loads));
+}
+
+Configuration staircase(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 1 && m >= 0);
+  // Loads proportional to 0..n-1, then fix the residue on the last bin.
+  const std::int64_t rampTotal = n * (n - 1) / 2;
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(n), 0);
+  std::int64_t assigned = 0;
+  if (rampTotal > 0) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t v = m * i / rampTotal / 2;  // about half the mass on the ramp
+      loads[static_cast<std::size_t>(i)] = v;
+      assigned += v;
+    }
+  }
+  loads[static_cast<std::size_t>(n - 1)] += m - assigned;
+  return Configuration(std::move(loads));
+}
+
+}  // namespace rlslb::config

@@ -1,0 +1,54 @@
+// Initial-configuration generators for the experiments.
+//
+// Each generator corresponds to a workload used somewhere in the paper's
+// analysis or in the experiment suite (see DESIGN.md section 4):
+//  - allInOne:       the Theorem-1 worst case / Omega(ln n) lower bound start
+//  - twoPoint:       the Omega(n^2/m) lower bound configuration
+//  - halfHalf:       the reshaped configuration of Lemma 13 / Figure 3
+//  - uniformRandom:  one-choice placement (balls thrown u.a.r.), Section 2
+//  - balanced / nearBalanced: Phase-3 starts
+//  - powerLaw, staircase: skewed starts for robustness experiments
+#pragma once
+
+#include <cstdint>
+
+#include "config/configuration.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace rlslb::config {
+
+/// All m balls in bin 0.
+Configuration allInOne(std::int64_t n, std::int64_t m);
+
+/// As balanced as integrally possible: m mod n bins get ceil(m/n).
+Configuration balanced(std::int64_t n, std::int64_t m);
+
+/// Requires n | m and m/n >= 1: bin 0 has avg+1, bin 1 has avg-1, rest avg.
+/// Time to perfect balance is exactly Exp((avg+1)/n) (see DESIGN.md).
+Configuration twoPoint(std::int64_t n, std::int64_t m);
+
+/// Requires n even: n/2 bins at avg+x, n/2 at avg-x (avg = m/n integral,
+/// avg >= x). The Figure-3 shape used throughout Phase 1's analysis.
+Configuration halfHalf(std::int64_t n, std::int64_t m, std::int64_t x);
+
+/// Exactly `a` bins at avg+1 and `a` bins at avg-1 (n | m); a 1-balanced
+/// Phase-3 start with a prescribed number of overloaded bins.
+Configuration plusMinusOne(std::int64_t n, std::int64_t m, std::int64_t a);
+
+/// m balls thrown independently and uniformly (one-choice placement).
+Configuration uniformRandom(std::int64_t n, std::int64_t m, rng::Xoshiro256pp& eng);
+
+/// Balls placed greedily into the lesser-loaded of d uniform candidate bins
+/// (Greedy[d] / power of d choices, Mitzenmacher [17]). d >= 1; d == 1
+/// degenerates to uniformRandom.
+Configuration greedyD(std::int64_t n, std::int64_t m, int d, rng::Xoshiro256pp& eng);
+
+/// Zipf-like skew: bin i receives mass proportional to (i+1)^(-alpha),
+/// then residual balls are spread round-robin to conserve m exactly.
+Configuration powerLaw(std::int64_t n, std::int64_t m, double alpha);
+
+/// Loads 0, 1, 2, ... cyclically scaled so they sum to m: a many-level start
+/// exercising wide level windows.
+Configuration staircase(std::int64_t n, std::int64_t m);
+
+}  // namespace rlslb::config

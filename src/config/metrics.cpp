@@ -1,0 +1,85 @@
+#include "config/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rlslb::config {
+
+bool isXBalancedInt(std::int64_t minLoad, std::int64_t maxLoad, std::int64_t n, std::int64_t m,
+                    std::int64_t x) {
+  RLSLB_ASSERT(n >= 1);
+  return n * maxLoad - m <= x * n && m - n * minLoad <= x * n;
+}
+
+bool isPerfectlyBalanced(std::int64_t minLoad, std::int64_t maxLoad, std::int64_t n,
+                         std::int64_t m) {
+  RLSLB_ASSERT(n >= 1);
+  return n * maxLoad - m < n && m - n * minLoad < n;
+}
+
+double discrepancy(std::int64_t minLoad, std::int64_t maxLoad, std::int64_t n, std::int64_t m) {
+  const double avg = static_cast<double>(m) / static_cast<double>(n);
+  return std::max(static_cast<double>(maxLoad) - avg, avg - static_cast<double>(minLoad));
+}
+
+namespace {
+
+template <typename LevelIter>
+Metrics metricsFromLevels(LevelIter begin, LevelIter end, std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(begin != end);
+  Metrics out;
+  const std::int64_t floorAvg = m / n;
+  const std::int64_t ceilAvg = (m + n - 1) / n;
+  out.minLoad = begin->load;
+  out.maxLoad = begin->load;
+  for (auto it = begin; it != end; ++it) {
+    const std::int64_t v = it->load;
+    const std::int64_t c = it->count;
+    out.minLoad = std::min(out.minLoad, v);
+    out.maxLoad = std::max(out.maxLoad, v);
+    if (v > ceilAvg) out.overloadedBalls += (v - ceilAvg) * c;
+    if (n * v > m) out.overloadedBins += c;
+    if (n * v < m) out.underloadedBins += c;
+    if (v == floorAvg) out.binsAtFloor += c;
+  }
+  out.discrepancy = discrepancy(out.minLoad, out.maxLoad, n, m);
+  out.perfectlyBalanced = isPerfectlyBalanced(out.minLoad, out.maxLoad, n, m);
+  return out;
+}
+
+struct PlainLevel {
+  std::int64_t load;
+  std::int64_t count;
+};
+
+}  // namespace
+
+Metrics computeMetrics(const Configuration& c) {
+  std::vector<PlainLevel> singles;
+  singles.reserve(c.loads().size());
+  for (std::int64_t v : c.loads()) singles.push_back({v, 1});
+  return metricsFromLevels(singles.begin(), singles.end(), c.numBins(), c.numBalls());
+}
+
+Metrics computeMetrics(const ds::LoadMultiset& ms) {
+  return metricsFromLevels(ms.levels().begin(), ms.levels().end(), ms.numBins(), ms.numBalls());
+}
+
+std::int64_t overloadedBalls(const ds::LoadMultiset& ms) {
+  const std::int64_t n = ms.numBins();
+  const std::int64_t m = ms.numBalls();
+  const std::int64_t ceilAvg = (m + n - 1) / n;
+  std::int64_t total = 0;
+  for (const auto& lv : ms.levels()) {
+    if (lv.load > ceilAvg) total += (lv.load - ceilAvg) * lv.count;
+  }
+  return total;
+}
+
+std::int64_t lemma16Potential(const ds::LoadMultiset& ms) {
+  const Metrics mm = computeMetrics(ms);
+  return 3 * mm.overloadedBalls - mm.underloadedBins - mm.overloadedBins;
+}
+
+}  // namespace rlslb::config

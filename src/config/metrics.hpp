@@ -1,0 +1,51 @@
+// Balance metrics from Section 3 of the paper, computed exactly with integer
+// arithmetic (no floating-point average) so that threshold predicates such as
+// "perfectly balanced" (disc < 1) are decided without rounding error.
+#pragma once
+
+#include <cstdint>
+
+#include "config/configuration.hpp"
+#include "ds/load_multiset.hpp"
+
+namespace rlslb::config {
+
+struct Metrics {
+  std::int64_t minLoad = 0;
+  std::int64_t maxLoad = 0;
+  double discrepancy = 0.0;       // max_i |l_i - m/n|
+  std::int64_t overloadedBalls = 0;  // sum_i max(0, l_i - ceil(m/n)); == #holes for n | m
+  std::int64_t overloadedBins = 0;   // # bins with load > ceil(m/n) - (n|m ? 0 : 1)... see docs
+  std::int64_t underloadedBins = 0;
+  std::int64_t binsAtFloor = 0;      // # bins with load == floor(m/n)
+  bool perfectlyBalanced = false;    // disc < 1
+};
+
+/// disc(l) as an exact predicate: is max_i |l_i - m/n| <= x for integer x?
+/// Uses n*max - m <= x*n and m - n*min <= x*n, all in 64-bit integers.
+bool isXBalancedInt(std::int64_t minLoad, std::int64_t maxLoad, std::int64_t n, std::int64_t m,
+                    std::int64_t x);
+
+/// Perfect balance: disc < 1, i.e. n*max - m < n and m - n*min < n.
+bool isPerfectlyBalanced(std::int64_t minLoad, std::int64_t maxLoad, std::int64_t n,
+                         std::int64_t m);
+
+/// Exact discrepancy as a double (for reporting; predicates above for logic).
+double discrepancy(std::int64_t minLoad, std::int64_t maxLoad, std::int64_t n, std::int64_t m);
+
+/// Full metric sweep, O(n).
+Metrics computeMetrics(const Configuration& c);
+
+/// Same metrics from the lumped multiset, O(#levels).
+Metrics computeMetrics(const ds::LoadMultiset& ms);
+
+/// The paper's "number of overloaded balls" sum_i max(0, l_i - avg) for the
+/// n | m case (Lemma 15); generalized with ceil(m/n) otherwise.
+std::int64_t overloadedBalls(const ds::LoadMultiset& ms);
+
+/// Lemma 16 potential 3A - k - h, where A = overloaded balls, h = #bins with
+/// load > avg, k = #bins with load < avg (n | m assumed by that lemma; we use
+/// ceil/floor generalization consistently with overloadedBalls()).
+std::int64_t lemma16Potential(const ds::LoadMultiset& ms);
+
+}  // namespace rlslb::config

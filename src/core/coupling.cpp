@@ -1,0 +1,146 @@
+#include "core/coupling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "rng/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::core {
+
+namespace {
+void sortDesc(std::vector<std::int64_t>& v) { std::sort(v.begin(), v.end(), std::greater<>()); }
+
+double discOf(const std::vector<std::int64_t>& loads, std::int64_t balls) {
+  const double avg = static_cast<double>(balls) / static_cast<double>(loads.size());
+  // Sorted descending: front is max, back is min.
+  return std::max(static_cast<double>(loads.front()) - avg,
+                  avg - static_cast<double>(loads.back()));
+}
+}  // namespace
+
+DmlCoupling::DmlCoupling(const config::Configuration& initial, std::uint64_t seed)
+    : base_(initial.loads()), adv_(initial.loads()), balls_(initial.numBalls()), eng_(seed) {
+  RLSLB_ASSERT(initial.numBins() >= 2);
+  RLSLB_ASSERT(balls_ >= 1);
+  sortDesc(base_);
+  sortDesc(adv_);
+}
+
+std::optional<DmlCoupling::Witness> DmlCoupling::witness() const {
+  std::optional<std::size_t> a;
+  std::optional<std::size_t> b;
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    if (adv_[i] == base_[i]) continue;
+    if (adv_[i] == base_[i] + 1 && !a) {
+      a = i;
+    } else if (adv_[i] == base_[i] - 1 && !b) {
+      b = i;
+    } else {
+      RLSLB_ASSERT_MSG(false, "coupling state not close (witness extraction)");
+    }
+  }
+  if (!a && !b) return std::nullopt;
+  RLSLB_ASSERT_MSG(a && b && *a < *b, "coupling state not close (pattern)");
+  return Witness{*a, *b};
+}
+
+bool DmlCoupling::isClose() const {
+  std::size_t plus = 0;
+  std::size_t minus = 0;
+  std::size_t plusIdx = 0;
+  std::size_t minusIdx = 0;
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    const std::int64_t d = adv_[i] - base_[i];
+    if (d == 0) continue;
+    if (d == 1) {
+      ++plus;
+      plusIdx = i;
+    } else if (d == -1) {
+      ++minus;
+      minusIdx = i;
+    } else {
+      return false;
+    }
+  }
+  if (plus == 0 && minus == 0) return true;
+  return plus == 1 && minus == 1 && plusIdx < minusIdx;
+}
+
+bool DmlCoupling::discDominated() const {
+  return discOf(base_, balls_) <= discOf(adv_, balls_) + 1e-9;
+}
+
+bool DmlCoupling::injectDestructiveMove(std::size_t fromIdx, std::size_t toIdx) {
+  RLSLB_ASSERT_MSG(equal(), "inject only while processes coincide");
+  RLSLB_ASSERT(fromIdx < adv_.size() && toIdx < adv_.size());
+  if (fromIdx == toIdx) return false;
+  if (adv_[fromIdx] < 1) return false;
+  if (adv_[fromIdx] > adv_[toIdx] + 1) return false;  // not destructive
+  --adv_[fromIdx];
+  ++adv_[toIdx];
+  sortDesc(adv_);
+  return true;
+}
+
+bool DmlCoupling::injectRandomDestructiveMove() {
+  RLSLB_ASSERT_MSG(equal(), "inject only while processes coincide");
+  const auto n = static_cast<std::uint64_t>(adv_.size());
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto i = static_cast<std::size_t>(rng::uniformIndex(eng_, n));
+    const auto j = static_cast<std::size_t>(rng::uniformIndex(eng_, n));
+    if (i == j) continue;
+    if (adv_[i] >= 1 && adv_[i] <= adv_[j] + 1) return injectDestructiveMove(i, j);
+  }
+  // Deterministic fallback (sorted descending): second bin -> first bin is
+  // destructive whenever the second bin is non-empty.
+  if (adv_.size() >= 2 && adv_[1] >= 1) return injectDestructiveMove(1, 0);
+  // Single non-empty bin: only m == 1 admits a destructive move (1 <= 0+1).
+  if (adv_[0] == 1) return injectDestructiveMove(0, 1);
+  return false;
+}
+
+void DmlCoupling::stepCoupled() {
+  const auto wit = witness();
+  const std::size_t n = base_.size();
+
+  // Activate a uniform ball of P: source rank iS with prob load/m.
+  std::int64_t ticket =
+      static_cast<std::int64_t>(rng::uniformIndex(eng_, static_cast<std::uint64_t>(balls_)));
+  std::size_t iS = n - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ticket < base_[i]) {
+      iS = i;
+      break;
+    }
+    ticket -= base_[i];
+  }
+
+  // Is the activated ball the special ball m (the one bin-differing ball)?
+  bool special = false;
+  if (wit && iS == wit->b) {
+    special = rng::uniformIndex(eng_, static_cast<std::uint64_t>(base_[wit->b])) == 0;
+  }
+
+  // Same destination rank in both processes.
+  const auto iD = static_cast<std::size_t>(rng::uniformIndex(eng_, static_cast<std::uint64_t>(n)));
+
+  // Evaluate both moves against the *pre-step* configurations.
+  const bool moveBase = iS != iD && base_[iS] >= base_[iD] + 1;
+  const std::size_t srcAdv = special ? wit->a : iS;
+  const bool moveAdv = srcAdv != iD && adv_[srcAdv] >= adv_[iD] + 1;
+
+  if (moveBase) {
+    --base_[iS];
+    ++base_[iD];
+    sortDesc(base_);
+  }
+  if (moveAdv) {
+    --adv_[srcAdv];
+    ++adv_[iD];
+    sortDesc(adv_);
+  }
+}
+
+}  // namespace rlslb::core

@@ -1,0 +1,74 @@
+// The Destructive Majorization Lemma (Lemma 2) as executable machinery.
+//
+// A move from bin i to bin j is *destructive* iff load(i) <= load(j) + 1,
+// i.e. exactly the reversal of a valid protocol move (Figure 1). Lemma 2
+// states that an adversary injecting arbitrarily many destructive moves
+// after each protocol event can only slow convergence down (stochastic
+// dominance of the discrepancy). The experiment E8 runs RLS under several
+// adversary policies and checks the dominance empirically; the coupling
+// harness (coupling.hpp) checks the proof's invariant structurally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "config/configuration.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "sim/engine.hpp"
+#include "sim/naive_engine.hpp"
+
+namespace rlslb::core {
+
+/// Policy injecting destructive moves into a NaiveEngine after each
+/// activation. Implementations must only ever apply destructive moves
+/// (checked in debug by the runner).
+class DestructiveAdversary {
+ public:
+  virtual ~DestructiveAdversary() = default;
+  virtual void afterEvent(sim::NaiveEngine& engine, rng::Xoshiro256pp& eng) = 0;
+};
+
+/// With probability p after each *successful* protocol move, bounce one ball
+/// straight back (always destructive: the reversal of a valid move).
+class ReverseLastMoveAdversary final : public DestructiveAdversary {
+ public:
+  explicit ReverseLastMoveAdversary(double probability);
+  void afterEvent(sim::NaiveEngine& engine, rng::Xoshiro256pp& eng) override;
+
+ private:
+  double probability_;
+};
+
+/// After each activation, `attempts` times: draw an ordered random bin pair
+/// and move one ball from the lower-loaded to the higher-loaded bin
+/// (skipping empty sources). Such a move is destructive by definition.
+class RandomPairAdversary final : public DestructiveAdversary {
+ public:
+  explicit RandomPairAdversary(int attempts = 1);
+  void afterEvent(sim::NaiveEngine& engine, rng::Xoshiro256pp& eng) override;
+
+ private:
+  int attempts_;
+};
+
+/// With probability p after each activation, move one ball from a
+/// minimum-load bin to a maximum-load bin: the most damaging single
+/// destructive move. O(n) scan per injection; intended for small n.
+class MinToMaxAdversary final : public DestructiveAdversary {
+ public:
+  explicit MinToMaxAdversary(double probability);
+  void afterEvent(sim::NaiveEngine& engine, rng::Xoshiro256pp& eng) override;
+
+ private:
+  double probability_;
+};
+
+/// Run RLS under an adversary until `target` or a limit. Adversary moves do
+/// not advance simulated time (Lemma 2's adversary acts instantaneously
+/// between protocol events).
+sim::RunResult runWithAdversary(const config::Configuration& initial, std::uint64_t seed,
+                                DestructiveAdversary& adversary, sim::Target target,
+                                const sim::RunLimits& limits = {}, sim::Probe* probe = nullptr,
+                                int gap = 1);
+
+}  // namespace rlslb::core

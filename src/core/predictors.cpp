@@ -1,0 +1,63 @@
+#include "core/predictors.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rlslb::core {
+
+double harmonicNumber(std::int64_t k) {
+  if (k <= 0) return 0.0;
+  if (k < 1000) {
+    double h = 0.0;
+    for (std::int64_t i = 1; i <= k; ++i) h += 1.0 / static_cast<double>(i);
+    return h;
+  }
+  const double kd = static_cast<double>(k);
+  constexpr double kEulerMascheroni = 0.5772156649015329;
+  return std::log(kd) + kEulerMascheroni + 1.0 / (2.0 * kd) - 1.0 / (12.0 * kd * kd);
+}
+
+double theorem1Scale(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 2 && m >= 1);
+  return std::log(static_cast<double>(n)) +
+         static_cast<double>(n) * static_cast<double>(n) / static_cast<double>(m);
+}
+
+double whpBudget(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 2 && m >= 1);
+  return std::log(static_cast<double>(n)) *
+         (1.0 + static_cast<double>(n) * static_cast<double>(n) / static_cast<double>(m));
+}
+
+double lowerBoundAllInOne(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 2 && m >= 1);
+  return harmonicNumber(m) - harmonicNumber((m + n - 1) / n);
+}
+
+double twoPointExactTime(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 2 && m % n == 0 && m / n >= 1);
+  return static_cast<double>(n) / static_cast<double>(m / n + 1);
+}
+
+double lemma8Bound(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(m >= 1 && m <= n);
+  return static_cast<double>(n) * (1.0 - 1.0 / static_cast<double>(m));
+}
+
+double lemma13Target(std::int64_t n, std::int64_t x) {
+  RLSLB_ASSERT(n >= 2 && x >= 0);
+  return 2.0 * std::sqrt(static_cast<double>(x) * std::log(static_cast<double>(n)));
+}
+
+double lemma13StepTime(std::int64_t avg, std::int64_t x) {
+  RLSLB_ASSERT(0 <= x && x < avg);
+  return std::log(static_cast<double>(avg + x)) - std::log(static_cast<double>(avg - x));
+}
+
+double endgameScale(std::int64_t n, std::int64_t m) {
+  RLSLB_ASSERT(n >= 1 && m >= 1);
+  return static_cast<double>(n) * static_cast<double>(n) / static_cast<double>(m);
+}
+
+}  // namespace rlslb::core

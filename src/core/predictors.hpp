@@ -1,0 +1,44 @@
+// The paper's closed-form quantities as code, so benches and tests share
+// one audited implementation instead of scattering formulas.
+//
+// Everything here is a *prediction* about the RLS process on n bins and m
+// balls; the experiment suite prints measured values next to these.
+#pragma once
+
+#include <cstdint>
+
+namespace rlslb::core {
+
+/// k-th harmonic number H_k (exact summation below 1000, asymptotic above;
+/// absolute error < 1e-12 in the asymptotic branch).
+double harmonicNumber(std::int64_t k);
+
+/// Theorem 1 scale: ln(n) + n^2/m. E[T] is Theta of this.
+double theorem1Scale(std::int64_t n, std::int64_t m);
+
+/// Theorem 1 w.h.p. budget: ln(n) * (1 + n^2/m).
+double whpBudget(std::int64_t n, std::int64_t m);
+
+/// Omega(ln n) lower bound from the all-in-one start: activating the
+/// m - avg surplus balls takes expected time >= H_m - H_avg.
+double lowerBoundAllInOne(std::int64_t n, std::int64_t m);
+
+/// Exact expected balancing time of the two-point configuration:
+/// n / (avg + 1) (requires n | m; see DESIGN.md for the argument).
+double twoPointExactTime(std::int64_t n, std::int64_t m);
+
+/// Lemma 8 explicit upper bound for m <= n from the all-in-one start:
+/// sum_{r=2..m} n/(r(r-1)) = n * (1 - 1/m).
+double lemma8Bound(std::int64_t n, std::int64_t m);
+
+/// Lemma 13 shrink target: from an x-balanced configuration one step of
+/// the doubling argument reaches 2*sqrt(x * ln n).
+double lemma13Target(std::int64_t n, std::int64_t x);
+
+/// Lemma 13 step duration: ln((avg+x)/(avg-x)) (requires x < avg).
+double lemma13StepTime(std::int64_t avg, std::int64_t x);
+
+/// Phase-2/3 scale n/avg = n^2/m (Lemmas 14-17).
+double endgameScale(std::int64_t n, std::int64_t m);
+
+}  // namespace rlslb::core

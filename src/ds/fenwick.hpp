@@ -1,0 +1,82 @@
+// Fenwick (binary indexed) tree with prefix-sum sampling.
+//
+// The naive RLS engine draws the activated ball by sampling a bin with
+// probability proportional to its load; Fenwick gives O(log n) weighted
+// sampling and O(log n) weight updates with O(n) memory, independent of the
+// number of balls. The `upperBound` operation implements inverse-CDF
+// sampling via binary lifting (one root-to-leaf descent, no binary search
+// over prefixSum calls).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rlslb::ds {
+
+template <typename T>
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : n_(n), tree_(n + 1, T{0}) {}
+
+  /// O(n) construction from initial values.
+  explicit Fenwick(const std::vector<T>& values) : n_(values.size()), tree_(values.size() + 1) {
+    for (std::size_t i = 1; i <= n_; ++i) tree_[i] = values[i - 1];
+    for (std::size_t i = 1; i <= n_; ++i) {
+      const std::size_t parent = i + (i & (~i + 1));
+      if (parent <= n_) tree_[parent] += tree_[i];
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void add(std::size_t i, T delta) {
+    RLSLB_ASSERT(i < n_);
+    for (std::size_t k = i + 1; k <= n_; k += k & (~k + 1)) tree_[k] += delta;
+  }
+
+  /// Sum of elements with index < i.
+  [[nodiscard]] T prefixSum(std::size_t i) const {
+    RLSLB_ASSERT(i <= n_);
+    T s{0};
+    for (std::size_t k = i; k > 0; k -= k & (~k + 1)) s += tree_[k];
+    return s;
+  }
+
+  [[nodiscard]] T total() const { return prefixSum(n_); }
+
+  [[nodiscard]] T get(std::size_t i) const {
+    RLSLB_ASSERT(i < n_);
+    T s = tree_[i + 1];
+    const std::size_t lca = (i + 1) - ((i + 1) & (~(i + 1) + 1));
+    for (std::size_t k = i; k > lca; k -= k & (~k + 1)) s -= tree_[k];
+    return s;
+  }
+
+  /// Smallest index i with prefixSum(i+1) > target. For target uniform in
+  /// [0, total()) this samples index i with probability get(i)/total().
+  /// Requires target < total() and all elements non-negative.
+  [[nodiscard]] std::size_t upperBound(T target) const {
+    std::size_t pos = 0;
+    std::size_t step = n_ == 0 ? 0 : std::bit_floor(n_);
+    T remaining = target;
+    while (step > 0) {
+      const std::size_t next = pos + step;
+      if (next <= n_ && tree_[next] <= remaining) {
+        pos = next;
+        remaining -= tree_[next];
+      }
+      step >>= 1;
+    }
+    RLSLB_ASSERT_MSG(pos < n_, "upperBound target >= total()");
+    return pos;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<T> tree_;
+};
+
+}  // namespace rlslb::ds

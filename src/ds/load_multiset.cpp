@@ -1,0 +1,128 @@
+#include "ds/load_multiset.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rlslb::ds {
+
+LoadMultiset LoadMultiset::fromLoads(const std::vector<std::int64_t>& loads) {
+  std::vector<std::int64_t> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  LoadMultiset ms;
+  for (std::int64_t v : sorted) {
+    RLSLB_ASSERT_MSG(v >= 0, "negative load");
+    if (!ms.levels_.empty() && ms.levels_.back().load == v) {
+      ++ms.levels_.back().count;
+    } else {
+      ms.levels_.push_back({v, 1});
+    }
+    ++ms.bins_;
+    ms.balls_ += v;
+  }
+  return ms;
+}
+
+LoadMultiset LoadMultiset::fromLevels(std::vector<Level> levels) {
+  std::sort(levels.begin(), levels.end(),
+            [](const Level& a, const Level& b) { return a.load < b.load; });
+  LoadMultiset ms;
+  for (const Level& lv : levels) {
+    RLSLB_ASSERT_MSG(lv.count > 0, "non-positive level count");
+    RLSLB_ASSERT_MSG(lv.load >= 0, "negative load");
+    RLSLB_ASSERT_MSG(ms.levels_.empty() || ms.levels_.back().load != lv.load,
+                     "duplicate level load");
+    ms.levels_.push_back(lv);
+    ms.bins_ += lv.count;
+    ms.balls_ += lv.load * lv.count;
+  }
+  return ms;
+}
+
+std::int64_t LoadMultiset::minLoad() const {
+  RLSLB_ASSERT(!levels_.empty());
+  return levels_.front().load;
+}
+
+std::int64_t LoadMultiset::maxLoad() const {
+  RLSLB_ASSERT(!levels_.empty());
+  return levels_.back().load;
+}
+
+std::size_t LoadMultiset::findLevel(std::int64_t load) const {
+  const auto it = std::lower_bound(
+      levels_.begin(), levels_.end(), load,
+      [](const Level& lv, std::int64_t v) { return lv.load < v; });
+  if (it == levels_.end() || it->load != load) return levels_.size();
+  return static_cast<std::size_t>(it - levels_.begin());
+}
+
+std::int64_t LoadMultiset::countAt(std::int64_t x) const {
+  const std::size_t i = findLevel(x);
+  return i == levels_.size() ? 0 : levels_[i].count;
+}
+
+std::int64_t LoadMultiset::countAtMost(std::int64_t x) const {
+  std::int64_t total = 0;
+  for (const Level& lv : levels_) {
+    if (lv.load > x) break;
+    total += lv.count;
+  }
+  return total;
+}
+
+void LoadMultiset::shiftBin(std::int64_t load, int delta) {
+  RLSLB_ASSERT(delta == 1 || delta == -1);
+  const std::size_t i = findLevel(load);
+  RLSLB_ASSERT_MSG(i != levels_.size(), "shiftBin: no bin at this level");
+  const std::int64_t target = load + delta;
+  RLSLB_ASSERT_MSG(target >= 0, "shiftBin: load would become negative");
+
+  // Remove one bin from `load`.
+  if (levels_[i].count == 1) {
+    levels_.erase(levels_.begin() + static_cast<std::ptrdiff_t>(i));
+  } else {
+    --levels_[i].count;
+  }
+  // Add one bin at `target`.
+  const auto it = std::lower_bound(
+      levels_.begin(), levels_.end(), target,
+      [](const Level& lv, std::int64_t v) { return lv.load < v; });
+  if (it != levels_.end() && it->load == target) {
+    ++it->count;
+  } else {
+    levels_.insert(it, {target, 1});
+  }
+  balls_ += delta;
+}
+
+void LoadMultiset::applyBallMove(std::int64_t fromLoad, std::int64_t toLoad) {
+  RLSLB_ASSERT_MSG(fromLoad >= toLoad + 2,
+                   "applyBallMove requires a multiset-changing move (from >= to + 2)");
+  shiftBin(fromLoad, -1);
+  shiftBin(toLoad, +1);
+}
+
+std::vector<std::int64_t> LoadMultiset::toSortedLoads() const {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(bins_));
+  for (const Level& lv : levels_) {
+    for (std::int64_t k = 0; k < lv.count; ++k) out.push_back(lv.load);
+  }
+  return out;
+}
+
+bool LoadMultiset::validate() const {
+  std::int64_t bins = 0;
+  std::int64_t balls = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].count <= 0) return false;
+    if (levels_[i].load < 0) return false;
+    if (i > 0 && levels_[i - 1].load >= levels_[i].load) return false;
+    bins += levels_[i].count;
+    balls += levels_[i].load * levels_[i].count;
+  }
+  return bins == bins_ && balls == balls_;
+}
+
+}  // namespace rlslb::ds

@@ -1,0 +1,71 @@
+// Sparse multiset of bin loads: the state of the *lumped* RLS chain.
+//
+// Balls and bins are identical, so the configuration process projected onto
+// the multiset of loads is itself a CTMC (lumpability): transition rates
+// depend only on how many bins carry each load value. The jump engine
+// therefore never tracks bin identities; it operates on this structure,
+// which stores the distinct load values ("levels") in a sorted vector with
+// their bin counts. A ball move touches at most four adjacent levels, so
+// updates are O(L) worst case (vector insert/erase) with L = number of
+// distinct loads, and L <= min(n, maxLoad - minLoad + 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlslb::ds {
+
+class LoadMultiset {
+ public:
+  struct Level {
+    std::int64_t load = 0;
+    std::int64_t count = 0;  // number of bins carrying exactly `load` balls
+  };
+
+  LoadMultiset() = default;
+
+  /// Build from explicit per-bin loads (O(n log n)).
+  static LoadMultiset fromLoads(const std::vector<std::int64_t>& loads);
+  /// Build from (load, count) pairs; loads need not be sorted, counts > 0.
+  static LoadMultiset fromLevels(std::vector<Level> levels);
+
+  [[nodiscard]] std::int64_t numBins() const { return bins_; }
+  [[nodiscard]] std::int64_t numBalls() const { return balls_; }
+  [[nodiscard]] std::size_t numLevels() const { return levels_.size(); }
+  [[nodiscard]] const Level& level(std::size_t i) const { return levels_[i]; }
+  [[nodiscard]] const std::vector<Level>& levels() const { return levels_; }
+
+  [[nodiscard]] std::int64_t minLoad() const;
+  [[nodiscard]] std::int64_t maxLoad() const;
+
+  /// Number of bins with load exactly `x` (0 if x is not a level).
+  [[nodiscard]] std::int64_t countAt(std::int64_t x) const;
+  /// Number of bins with load <= x. O(log L + L) worst case; O(L) scan.
+  [[nodiscard]] std::int64_t countAtMost(std::int64_t x) const;
+
+  /// Move one ball from a bin at level `fromLoad` to a bin at level `toLoad`:
+  /// bin counts change as cnt[fromLoad]--, cnt[fromLoad-1]++, cnt[toLoad]--,
+  /// cnt[toLoad+1]++. `fromLoad` and `toLoad` must be existing levels with
+  /// positive counts and fromLoad >= toLoad + 2 (a multiset-changing move);
+  /// fromLoad == toLoad + 1 would be a neutral move, which is a self-loop of
+  /// the lumped chain and must be skipped by the caller.
+  void applyBallMove(std::int64_t fromLoad, std::int64_t toLoad);
+
+  /// Move one *bin* from level `load` to `load + delta` (delta = +-1).
+  void shiftBin(std::int64_t load, int delta);
+
+  /// Expand into one entry per bin, ascending. For tests and hand-offs.
+  [[nodiscard]] std::vector<std::int64_t> toSortedLoads() const;
+
+  /// Internal-consistency scan (sortedness, positive counts, totals).
+  [[nodiscard]] bool validate() const;
+
+ private:
+  std::vector<Level> levels_;  // ascending by load, counts strictly positive
+  std::int64_t bins_ = 0;
+  std::int64_t balls_ = 0;
+
+  [[nodiscard]] std::size_t findLevel(std::int64_t load) const;  // exact match or size()
+};
+
+}  // namespace rlslb::ds

@@ -1,0 +1,101 @@
+#include "dynamic/open_system.hpp"
+
+#include <algorithm>
+
+#include "rng/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::dynamic {
+
+OpenSystem::OpenSystem(std::int64_t numBins, const OpenSystemOptions& options, std::uint64_t seed,
+                       const config::Configuration* initial)
+    : loads_(initial != nullptr ? initial->loads()
+                                : std::vector<std::int64_t>(static_cast<std::size_t>(numBins), 0)),
+      ballMass_(loads_),
+      options_(options),
+      eng_(seed) {
+  RLSLB_ASSERT(numBins >= 1);
+  RLSLB_ASSERT(initial == nullptr || initial->numBins() == numBins);
+  RLSLB_ASSERT(options_.arrivalRatePerBin >= 0.0);
+  RLSLB_ASSERT(options_.departureRate >= 0.0);
+  RLSLB_ASSERT(options_.arrivalChoices >= 1);
+  RLSLB_ASSERT(options_.gap >= 1);
+  for (std::int64_t v : loads_) balls_ += v;
+}
+
+void OpenSystem::addBall(std::size_t bin) {
+  ++loads_[bin];
+  ballMass_.add(bin, +1);
+  ++balls_;
+}
+
+void OpenSystem::removeBall(std::size_t bin) {
+  RLSLB_ASSERT(loads_[bin] >= 1);
+  --loads_[bin];
+  ballMass_.add(bin, -1);
+  --balls_;
+}
+
+bool OpenSystem::step() {
+  const auto n = static_cast<std::uint64_t>(loads_.size());
+  const double arrivalRate = options_.arrivalRatePerBin * static_cast<double>(n);
+  const double perBallRate = options_.departureRate + 1.0;  // service + RLS clock
+  const double totalRate = arrivalRate + perBallRate * static_cast<double>(balls_);
+  if (totalRate <= 0.0) return false;
+
+  time_ += rng::exponential(eng_, totalRate);
+  const double which = rng::uniformDouble(eng_) * totalRate;
+
+  if (which < arrivalRate) {
+    // Arrival: least loaded of d uniform samples (d = 1 is uniform).
+    std::size_t best = static_cast<std::size_t>(rng::uniformIndex(eng_, n));
+    for (int k = 1; k < options_.arrivalChoices; ++k) {
+      const auto cand = static_cast<std::size_t>(rng::uniformIndex(eng_, n));
+      if (loads_[cand] < loads_[best]) best = cand;
+    }
+    addBall(best);
+    ++counters_.arrivals;
+    return true;
+  }
+
+  // Pick a uniform resident ball (load-weighted bin).
+  const auto ticket =
+      static_cast<std::int64_t>(rng::uniformIndex(eng_, static_cast<std::uint64_t>(balls_)));
+  const std::size_t bin = ballMass_.upperBound(ticket);
+
+  const double departShare = options_.departureRate / perBallRate;
+  if (rng::uniformDouble(eng_) < departShare) {
+    removeBall(bin);
+    ++counters_.departures;
+    return true;
+  }
+
+  // RLS migration attempt.
+  ++counters_.migrationAttempts;
+  const auto dst = static_cast<std::size_t>(rng::uniformIndex(eng_, n));
+  if (dst != bin && loads_[bin] >= loads_[dst] + options_.gap) {
+    removeBall(bin);
+    addBall(dst);
+    ++counters_.migrations;
+  }
+  return true;
+}
+
+std::int64_t OpenSystem::runUntilTime(double time) {
+  std::int64_t events = 0;
+  while (time_ < time) {
+    if (!step()) break;
+    ++events;
+  }
+  return events;
+}
+
+std::int64_t OpenSystem::maxLoad() const {
+  return *std::max_element(loads_.begin(), loads_.end());
+}
+
+std::int64_t OpenSystem::minLoad() const {
+  return *std::min_element(loads_.begin(), loads_.end());
+}
+
+}  // namespace rlslb::dynamic

@@ -1,0 +1,223 @@
+#include "exact/rls_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ds/load_multiset.hpp"
+#include "stats/linalg.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::exact {
+
+RlsChain::RlsChain(std::int64_t n, std::int64_t m) : n_(n), m_(m) {
+  RLSLB_ASSERT(n >= 1 && m >= 0);
+  enumerateStates();
+  buildTransitions();
+}
+
+void RlsChain::enumerateStates() {
+  // Generate partitions of m_ into at most n_ parts, parts non-increasing.
+  std::vector<std::int64_t> current;
+  const std::int64_t n = n_;
+  auto recurse = [&](auto&& self, std::int64_t remaining, std::int64_t maxPart) -> void {
+    if (remaining == 0) {
+      std::vector<std::int64_t> padded = current;
+      padded.resize(static_cast<std::size_t>(n), 0);
+      index_.emplace(padded, states_.size());
+      states_.push_back(std::move(padded));
+      return;
+    }
+    if (static_cast<std::int64_t>(current.size()) == n) return;
+    const std::int64_t hi = std::min(maxPart, remaining);
+    // Feasibility: remaining slots must be able to absorb `remaining`.
+    const std::int64_t slotsLeft = n - static_cast<std::int64_t>(current.size());
+    for (std::int64_t part = hi; part >= 1; --part) {
+      if (part * slotsLeft < remaining) break;
+      current.push_back(part);
+      self(self, remaining - part, part);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, m_, m_ == 0 ? 1 : m_);
+}
+
+void RlsChain::buildTransitions() {
+  transitions_.resize(states_.size());
+  exitRates_.assign(states_.size(), 0.0);
+  numAbsorbing_ = 0;
+  const double nd = static_cast<double>(n_);
+
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    const auto ms = ds::LoadMultiset::fromLoads(states_[s]);
+    const auto& levels = ms.levels();
+    for (std::size_t vi = 0; vi < levels.size(); ++vi) {
+      for (std::size_t ui = 0; ui < vi; ++ui) {
+        const std::int64_t v = levels[vi].load;
+        const std::int64_t u = levels[ui].load;
+        if (v < u + 2) continue;  // neutral or invalid: self-loop of lumped chain
+        const double rate = static_cast<double>(v) * static_cast<double>(levels[vi].count) *
+                            static_cast<double>(levels[ui].count) / nd;
+        ds::LoadMultiset next = ms;
+        next.applyBallMove(v, u);
+        auto loads = next.toSortedLoads();
+        std::reverse(loads.begin(), loads.end());
+        const auto it = index_.find(loads);
+        RLSLB_ASSERT_MSG(it != index_.end(), "transition target not enumerated");
+        transitions_[s].push_back({it->second, rate});
+        exitRates_[s] += rate;
+      }
+    }
+    if (transitions_[s].empty()) ++numAbsorbing_;
+  }
+}
+
+std::size_t RlsChain::stateId(const std::vector<std::int64_t>& loads) const {
+  std::vector<std::int64_t> key = loads;
+  std::sort(key.begin(), key.end(), std::greater<>());
+  key.resize(static_cast<std::size_t>(n_), 0);
+  const auto it = index_.find(key);
+  RLSLB_ASSERT_MSG(it != index_.end(), "unknown state (wrong n or m?)");
+  return it->second;
+}
+
+const std::vector<double>& RlsChain::expectedBalanceTimes() const {
+  if (!expectedTimes_.empty()) return expectedTimes_;
+
+  // Transient states only; absorbing states have E[T] = 0.
+  std::vector<std::size_t> transient;
+  std::vector<std::size_t> transientIndex(states_.size(), SIZE_MAX);
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    if (!transitions_[s].empty()) {
+      transientIndex[s] = transient.size();
+      transient.push_back(s);
+    }
+  }
+
+  const std::size_t k = transient.size();
+  stats::Matrix a(k, k, 0.0);
+  std::vector<double> b(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t s = transient[i];
+    a.at(i, i) = 1.0;
+    b[i] = 1.0 / exitRates_[s];
+    for (const auto& tr : transitions_[s]) {
+      if (transientIndex[tr.to] == SIZE_MAX) continue;  // absorbing: E = 0
+      a.at(i, transientIndex[tr.to]) -= tr.rate / exitRates_[s];
+    }
+  }
+  std::vector<double> x;
+  const bool ok = solveLinearSystem(std::move(a), std::move(b), x);
+  RLSLB_ASSERT_MSG(ok, "absorbing-chain system singular");
+
+  expectedTimes_.assign(states_.size(), 0.0);
+  for (std::size_t i = 0; i < k; ++i) expectedTimes_[transient[i]] = x[i];
+  return expectedTimes_;
+}
+
+const std::vector<double>& RlsChain::expectedSquaredTimes() const {
+  if (!expectedSquares_.empty()) return expectedSquares_;
+  const auto& et = expectedBalanceTimes();
+
+  std::vector<std::size_t> transient;
+  std::vector<std::size_t> transientIndex(states_.size(), SIZE_MAX);
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    if (!transitions_[s].empty()) {
+      transientIndex[s] = transient.size();
+      transient.push_back(s);
+    }
+  }
+
+  // E[T^2 | s] = 2/R^2 + (2/R) * sum_j P(s->j) E[T|j] + sum_j P(s->j) E[T^2|j].
+  const std::size_t k = transient.size();
+  stats::Matrix a(k, k, 0.0);
+  std::vector<double> b(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t s = transient[i];
+    const double r = exitRates_[s];
+    a.at(i, i) = 1.0;
+    double mixed = 0.0;
+    for (const auto& tr : transitions_[s]) {
+      mixed += tr.rate / r * et[tr.to];
+      if (transientIndex[tr.to] != SIZE_MAX) {
+        a.at(i, transientIndex[tr.to]) -= tr.rate / r;
+      }
+    }
+    b[i] = 2.0 / (r * r) + 2.0 / r * mixed;
+  }
+  std::vector<double> x;
+  const bool ok = solveLinearSystem(std::move(a), std::move(b), x);
+  RLSLB_ASSERT_MSG(ok, "second-moment system singular");
+
+  expectedSquares_.assign(states_.size(), 0.0);
+  for (std::size_t i = 0; i < k; ++i) expectedSquares_[transient[i]] = x[i];
+  return expectedSquares_;
+}
+
+const std::vector<double>& RlsChain::absorbedByStep(std::size_t id, std::size_t needSteps) const {
+  if (absorbedByStep_.empty()) {
+    absorbedByStep_.resize(states_.size());
+    uniformizationRate_ = 0.0;
+    for (double r : exitRates_) uniformizationRate_ = std::max(uniformizationRate_, r);
+    if (uniformizationRate_ <= 0.0) uniformizationRate_ = 1.0;
+  }
+  auto& seq = absorbedByStep_[id];
+  if (seq.size() > needSteps) return seq;
+
+  // March the uniformized DTMC distribution forward from scratch or from a
+  // cached suffix. Rebuilding from scratch keeps the cache simple: the
+  // cost is O(steps * transitions), tiny for test-scale chains.
+  std::vector<double> dist(states_.size(), 0.0);
+  dist[id] = 1.0;
+  seq.assign(1, transitions_[id].empty() ? 1.0 : 0.0);
+  std::vector<double> next(states_.size(), 0.0);
+  for (std::size_t k = 1; k <= needSteps; ++k) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      const double p = dist[s];
+      if (p <= 0.0) continue;
+      if (transitions_[s].empty()) {
+        next[s] += p;  // absorbing: stays
+        continue;
+      }
+      const double stay = 1.0 - exitRates_[s] / uniformizationRate_;
+      next[s] += p * stay;
+      for (const auto& tr : transitions_[s]) {
+        next[tr.to] += p * tr.rate / uniformizationRate_;
+      }
+    }
+    dist.swap(next);
+    double absorbed = 0.0;
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      if (transitions_[s].empty()) absorbed += dist[s];
+    }
+    seq.push_back(absorbed);
+  }
+  return seq;
+}
+
+double RlsChain::absorptionCdf(std::size_t id, double t) const {
+  RLSLB_ASSERT(id < states_.size());
+  if (t <= 0.0) return transitions_[id].empty() ? 1.0 : 0.0;
+  // Ensure the uniformization rate is initialized before sizing the sum.
+  (void)absorbedByStep(id, 0);
+  const double lt = uniformizationRate_ * t;
+  const auto kMax = static_cast<std::size_t>(lt + 12.0 * std::sqrt(lt + 1.0) + 40.0);
+  const auto& seq = absorbedByStep(id, kMax);
+
+  // Poisson(k; lt) weights computed iteratively in log space start.
+  double cdf = 0.0;
+  double logPmf = -lt;  // k = 0
+  for (std::size_t k = 0; k <= kMax; ++k) {
+    if (k > 0) logPmf += std::log(lt) - std::log(static_cast<double>(k));
+    const double w = std::exp(logPmf);
+    cdf += w * seq[k];
+  }
+  return std::min(1.0, cdf);
+}
+
+double RlsChain::expectedTimeFrom(const config::Configuration& c) const {
+  RLSLB_ASSERT(c.numBins() == n_ && c.numBalls() == m_);
+  return expectedBalanceTimes()[stateId(c.loads())];
+}
+
+}  // namespace rlslb::exact

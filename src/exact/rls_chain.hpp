@@ -1,0 +1,88 @@
+// Exact analysis of the RLS configuration process for tiny systems.
+//
+// Projected onto load multisets, RLS is a CTMC whose states are the
+// partitions of m into at most n parts and whose transitions are the
+// multiset-changing moves: one ball from a level-v bin to a level-u bin with
+// u <= v - 2, at rate v * cnt(v) * cnt(u) / n. (Neutral moves u = v - 1 are
+// self-loops of the lumped chain; and because the lumped chain is identical
+// for the paper's ">=" protocol and the strict ">" variant of [12, 11], the
+// exact times computed here apply to both -- the paper's Section 3 remark.)
+//
+// For small (n, m) -- the state count is the partition number p(m; <= n
+// parts), e.g. 627 for m = 20 -- the expected time to perfect balance from
+// *every* state is the solution of one dense linear system. The test suite
+// uses these exact values to validate both simulation engines to
+// statistical precision, and bench_lowerbound reports them next to
+// simulated values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "config/configuration.hpp"
+
+namespace rlslb::exact {
+
+class RlsChain {
+ public:
+  /// Enumerates all states. Practical up to roughly m <= 24 (p(24) = 1575
+  /// states; the dense solve is cubic in the state count).
+  RlsChain(std::int64_t n, std::int64_t m);
+
+  [[nodiscard]] std::size_t numStates() const { return states_.size(); }
+  [[nodiscard]] std::size_t numAbsorbing() const { return numAbsorbing_; }
+
+  /// State id of a configuration (loads are sorted internally).
+  [[nodiscard]] std::size_t stateId(const std::vector<std::int64_t>& loads) const;
+
+  /// Sorted-descending load vector of a state (zero-padded to n entries).
+  [[nodiscard]] const std::vector<std::int64_t>& state(std::size_t id) const {
+    return states_[id];
+  }
+
+  /// E[time to perfect balance] from every state (0 for absorbing states).
+  /// Computed once, cached.
+  [[nodiscard]] const std::vector<double>& expectedBalanceTimes() const;
+
+  /// Convenience: E[T] from a labeled configuration.
+  [[nodiscard]] double expectedTimeFrom(const config::Configuration& c) const;
+
+  /// E[T^2] from every state, for exact variance of the balancing time.
+  [[nodiscard]] const std::vector<double>& expectedSquaredTimes() const;
+
+  /// Exact P(T <= t) from state `id` via uniformization: with Lambda >=
+  /// max exit rate and the uniformized DTMC P = I + Q/Lambda,
+  /// P(T <= t) = sum_k Poisson(k; Lambda*t) * P(absorbed within k DTMC
+  /// steps). The Poisson tail is truncated below 1e-12. This gives the
+  /// full balancing-time *distribution*, against which the test suite runs
+  /// one-sample KS tests of the simulation engines.
+  [[nodiscard]] double absorptionCdf(std::size_t id, double t) const;
+
+ private:
+  std::int64_t n_;
+  std::int64_t m_;
+  std::vector<std::vector<std::int64_t>> states_;  // sorted descending, padded with zeros
+  std::map<std::vector<std::int64_t>, std::size_t> index_;
+  std::size_t numAbsorbing_ = 0;
+
+  struct Transition {
+    std::size_t to;
+    double rate;
+  };
+  std::vector<std::vector<Transition>> transitions_;  // outgoing, per state
+  std::vector<double> exitRates_;
+
+  mutable std::vector<double> expectedTimes_;
+  mutable std::vector<double> expectedSquares_;
+  // absorbedByStep_[id][k] = P(absorbed within k uniformized DTMC steps),
+  // built lazily per initial state.
+  mutable std::vector<std::vector<double>> absorbedByStep_;
+  mutable double uniformizationRate_ = 0.0;
+
+  void enumerateStates();
+  void buildTransitions();
+  const std::vector<double>& absorbedByStep(std::size_t id, std::size_t needSteps) const;
+};
+
+}  // namespace rlslb::exact

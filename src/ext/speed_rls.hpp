@@ -1,0 +1,65 @@
+// Section 7, first future direction: bins with speeds.
+//
+// Bin i has integer speed s_i >= 1 and a ball on it experiences load
+// l_i / s_i. On activation a ball samples a uniform random bin and migrates
+// iff doing so strictly improves its experienced load:
+// (l_j + 1) / s_j < l_i / s_i, evaluated exactly in integers as
+// (l_j + 1) * s_i < l_i * s_j.
+//
+// The natural fixed point is a Nash equilibrium: no ball can strictly
+// improve. Equilibrium is detected exactly via the extreme bins:
+// max_i over non-empty bins of l_i/s_i <= min_j (l_j + 1)/s_j.
+// Bench E11 measures the time to equilibrium across speed skews.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "ds/fenwick.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace rlslb::ext {
+
+class SpeedRlsEngine {
+ public:
+  SpeedRlsEngine(const config::Configuration& initial, std::vector<std::int64_t> speeds,
+                 std::uint64_t seed);
+
+  /// One activation; returns true if the ball moved.
+  bool step();
+
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] std::int64_t activations() const { return activations_; }
+  [[nodiscard]] std::int64_t moves() const { return moves_; }
+  [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
+  [[nodiscard]] const std::vector<std::int64_t>& speeds() const { return speeds_; }
+
+  /// Exact Nash test, O(n).
+  [[nodiscard]] bool isEquilibrium() const;
+
+  /// max_i l_i/s_i - min_i l_i/s_i (reporting only).
+  [[nodiscard]] double weightedDiscrepancy() const;
+
+  struct RunResult {
+    double time = 0.0;
+    std::int64_t activations = 0;
+    std::int64_t moves = 0;
+    bool reachedEquilibrium = false;
+  };
+  /// Run until Nash equilibrium (checked every `checkEvery` activations) or
+  /// the activation budget runs out.
+  RunResult runUntilEquilibrium(std::int64_t maxActivations, std::int64_t checkEvery = 0);
+
+ private:
+  std::vector<std::int64_t> loads_;
+  std::vector<std::int64_t> speeds_;
+  ds::Fenwick<std::int64_t> ballMass_;
+  rng::Xoshiro256pp eng_;
+  std::int64_t balls_;
+  double time_ = 0.0;
+  std::int64_t activations_ = 0;
+  std::int64_t moves_ = 0;
+};
+
+}  // namespace rlslb::ext

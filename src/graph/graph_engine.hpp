@@ -1,0 +1,54 @@
+// RLS on an arbitrary topology (Section 7, third future direction).
+//
+// Identical to NaiveEngine except the destination is a uniform random
+// *neighbor* of the ball's current bin. Note the lumped-multiset reduction
+// of JumpEngine does not apply here: transition rates depend on which bins
+// are adjacent, so bin identities matter and neutral moves genuinely change
+// the state. The engine therefore simulates every activation.
+//
+// On a connected graph the discrepancy is still non-increasing, the minimum
+// load non-decreasing, and the maximum non-increasing (the protocol's local
+// test is unchanged); perfect balance remains reachable, just slower on
+// poorly-mixing topologies -- exactly what experiment E12 measures.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "ds/fenwick.hpp"
+#include "graph/topology.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "sim/engine.hpp"
+
+namespace rlslb::graph {
+
+class GraphRlsEngine final : public sim::Engine {
+ public:
+  /// `topology` must outlive the engine; bins are its vertices.
+  GraphRlsEngine(const config::Configuration& initial, const Topology& topology,
+                 std::uint64_t seed, int gap = 1);
+
+  bool step() override;
+  [[nodiscard]] double time() const override { return time_; }
+  [[nodiscard]] std::int64_t moves() const override { return moves_; }
+  [[nodiscard]] std::int64_t activations() const override { return activations_; }
+  [[nodiscard]] const sim::BalanceState& state() const override { return state_; }
+
+  [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
+
+ private:
+  const Topology& topology_;
+  std::vector<std::int64_t> loads_;
+  ds::Fenwick<std::int64_t> ballMass_;
+  std::unordered_map<std::int64_t, std::int64_t> histogram_;
+  rng::Xoshiro256pp eng_;
+  sim::BalanceState state_;
+  double time_ = 0.0;
+  std::int64_t moves_ = 0;
+  std::int64_t activations_ = 0;
+  int gap_;
+};
+
+}  // namespace rlslb::graph

@@ -1,0 +1,90 @@
+// "Perfectly Balanced Allocation", Czumaj-Riley-Scheideler (RANDOM 2003) --
+// reference [9] of the paper, the other *local search* baseline.
+//
+// Setup: each ball independently picks two distinct candidate bins and is
+// initially placed in one of them (here: the lesser loaded at insertion
+// time, i.e. a Greedy[2] prefix, the setting for [9]'s headline result).
+// One protocol step draws an ordered bin pair (b1, b2) uniformly at random;
+// if some ball currently in b1 has b2 as its other candidate, one such ball
+// is placed into the lesser loaded of {b1, b2} (ties keep it in b1).
+//
+// [9] prove an n^O(1) bound on the number of steps to perfect balance (the
+// hidden exponent >= 4); the paper's Section 2 contrasts this with RLS's
+// O(n^2) activations from the same start, and notes RLS needs no candidate
+// restriction. Bench E10 measures both. Balls must be tracked individually
+// here (candidates are per-ball state), so memory is O(m + n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/metrics.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace rlslb::protocols {
+
+class CrsProtocol {
+ public:
+  /// Creates n bins and m balls with random distinct candidate pairs,
+  /// Greedy[2]-placed in candidate order.
+  CrsProtocol(std::int64_t n, std::int64_t m, std::uint64_t seed);
+
+  /// One pair-draw step. Returns true if a ball was (re)placed -- note a
+  /// "placement" into the bin it already occupies counts as no move.
+  bool step();
+
+  [[nodiscard]] std::int64_t numBins() const { return n_; }
+  [[nodiscard]] std::int64_t numBalls() const { return m_; }
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+  [[nodiscard]] std::int64_t moves() const { return moves_; }
+  [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
+
+  [[nodiscard]] config::Metrics metrics() const;
+
+  /// Run until perfectly balanced or the step budget is exhausted; returns
+  /// steps taken, or -1 if the budget ran out first.
+  ///
+  /// Caveat (also measured by bench_baselines): each ball is confined to its
+  /// two candidate bins, so perfect balance requires an orientation of the
+  /// random two-choice multigraph with every bin at exactly ceil/floor(m/n)
+  /// -- which does not always exist. Use runUntilBalanced(x, ...) with
+  /// x >= 1 when feasibility is not guaranteed.
+  std::int64_t runUntilPerfect(std::int64_t maxSteps);
+
+  /// Run until disc <= x (integer x >= 1) or the budget is exhausted;
+  /// returns steps taken, or -1.
+  std::int64_t runUntilBalanced(std::int64_t x, std::int64_t maxSteps);
+
+  /// Locally stable: no ball has a *strictly improving* switch, i.e. every
+  /// ball's other candidate carries load >= load(current) - 1. (Moves into
+  /// a bin exactly one lighter are neutral -- they swap loads and can
+  /// ping-pong forever, mirroring RLS's neutral moves -- so stability is
+  /// defined up to them.) This is CRS's analogue of perfect balance and is
+  /// always reachable, unlike disc < 1, because balls are confined to their
+  /// candidate pairs.
+  [[nodiscard]] bool isLocallyStable() const;
+
+  /// Run until locally stable (checked every ~n/8 steps); returns steps
+  /// taken, or -1 if the budget ran out.
+  std::int64_t runUntilStable(std::int64_t maxSteps);
+
+ private:
+  struct Ball {
+    std::uint32_t candidate[2];
+    std::uint32_t at;  // index into candidate[]: which of the two it occupies
+  };
+
+  std::int64_t n_;
+  std::int64_t m_;
+  rng::Xoshiro256pp eng_;
+  std::vector<Ball> balls_;
+  std::vector<std::vector<std::uint32_t>> binBalls_;  // ball ids per bin
+  std::vector<std::int64_t> loads_;
+  std::int64_t steps_ = 0;
+  std::int64_t moves_ = 0;
+
+  void place(std::uint32_t ballId, std::uint32_t whichCandidate);
+  void remove(std::uint32_t ballId);
+};
+
+}  // namespace rlslb::protocols

@@ -1,0 +1,33 @@
+#include "protocols/edm.hpp"
+
+#include "rng/distributions.hpp"
+
+namespace rlslb::protocols {
+
+void EdmGlobalRerouting::round() {
+  const std::int64_t n = numBins();
+  const double avg = static_cast<double>(balls_) / static_cast<double>(n);
+  const std::vector<std::int64_t> before = loads_;
+
+  std::vector<std::size_t> underloaded;
+  for (std::size_t j = 0; j < before.size(); ++j) {
+    if (static_cast<double>(before[j]) < avg) underloaded.push_back(j);
+  }
+  if (underloaded.empty()) return;
+
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const std::int64_t li = before[i];
+    if (static_cast<double>(li) <= avg) continue;
+    const double pMove = (static_cast<double>(li) - avg) / static_cast<double>(li);
+    // Binomial number of migrants from bin i (balls are identical).
+    const std::int64_t migrants = rng::binomial(eng_, li, pMove);
+    for (std::int64_t k = 0; k < migrants; ++k) {
+      const std::size_t j =
+          underloaded[static_cast<std::size_t>(rng::uniformIndex(eng_, underloaded.size()))];
+      --loads_[i];
+      ++loads_[j];
+    }
+  }
+}
+
+}  // namespace rlslb::protocols

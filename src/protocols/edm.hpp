@@ -1,0 +1,26 @@
+// Global-knowledge selfish rerouting in the style of Even-Dar & Mansour
+// (SODA 2005) -- reference [10] of the paper.
+//
+// Every ball knows the global average load avg = m/n. In each synchronous
+// round, a ball on an overloaded bin i (load(i) > avg) migrates with
+// probability (load(i) - avg)/load(i); its destination is drawn uniformly
+// among the *underloaded* bins (global knowledge again).
+//
+// Substitution note (DESIGN.md section 5): [10] proves O(ln ln m + ln n)
+// convergence for a family of such average-aware protocols; we implement
+// the canonical member as described above. Only the scaling shape (fast,
+// m-dependent, knowledge-assisted) is compared against RLS, mirroring the
+// qualitative comparison in the paper's Section 2.
+#pragma once
+
+#include "protocols/round_protocol.hpp"
+
+namespace rlslb::protocols {
+
+class EdmGlobalRerouting final : public RoundProtocol {
+ public:
+  using RoundProtocol::RoundProtocol;
+  void round() override;
+};
+
+}  // namespace rlslb::protocols

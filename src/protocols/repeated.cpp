@@ -1,0 +1,23 @@
+#include "protocols/repeated.hpp"
+
+#include "rng/distributions.hpp"
+
+namespace rlslb::protocols {
+
+void RepeatedBallsIntoBins::round() {
+  const auto n = static_cast<std::uint64_t>(loads_.size());
+  // Release one ball from every non-empty bin...
+  std::int64_t released = 0;
+  for (auto& v : loads_) {
+    if (v > 0) {
+      --v;
+      ++released;
+    }
+  }
+  // ... and re-throw them independently and uniformly.
+  for (std::int64_t k = 0; k < released; ++k) {
+    ++loads_[static_cast<std::size_t>(rng::uniformIndex(eng_, n))];
+  }
+}
+
+}  // namespace rlslb::protocols

@@ -1,0 +1,24 @@
+// Repeated balls-into-bins, Becchetti-Clementi-Natale-Pasquale-Posta
+// (SPAA 2015) -- reference [2] of the paper, from its "self-stabilizing"
+// related-work class.
+//
+// In each synchronous round, every NON-EMPTY bin releases exactly one ball,
+// and every released ball is re-thrown into a uniformly random bin. [2]
+// show this self-stabilizes to O(log n) maximum load (for m = n) from any
+// configuration and keeps it there for poly(n) rounds. Included as the
+// self-stabilization baseline in E10: unlike RLS it never converges to a
+// static perfectly balanced state (it keeps churning), but its stationary
+// max load is small.
+#pragma once
+
+#include "protocols/round_protocol.hpp"
+
+namespace rlslb::protocols {
+
+class RepeatedBallsIntoBins final : public RoundProtocol {
+ public:
+  using RoundProtocol::RoundProtocol;
+  void round() override;
+};
+
+}  // namespace rlslb::protocols

@@ -1,0 +1,23 @@
+#include "protocols/round_protocol.hpp"
+
+#include <algorithm>
+
+namespace rlslb::protocols {
+
+bool RoundProtocol::balancedWithin(std::int64_t x) const {
+  const auto [mn, mx] = std::minmax_element(loads_.begin(), loads_.end());
+  const std::int64_t n = numBins();
+  if (x == 0) return config::isPerfectlyBalanced(*mn, *mx, n, balls_);
+  return config::isXBalancedInt(*mn, *mx, n, balls_, x);
+}
+
+std::int64_t RoundProtocol::runUntilBalanced(std::int64_t x, std::int64_t maxRounds) {
+  for (std::int64_t r = 0; r < maxRounds; ++r) {
+    if (balancedWithin(x)) return rounds_;
+    round();
+    ++rounds_;
+  }
+  return balancedWithin(x) ? rounds_ : -1;
+}
+
+}  // namespace rlslb::protocols

@@ -1,0 +1,47 @@
+// Shared scaffolding for the *synchronous* baselines of Section 2 (selfish
+// and threshold load balancing). Unlike RLS these activate all balls
+// simultaneously in rounds; the paper compares one synchronous round to one
+// unit of continuous RLS time (m activations in expectation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "config/metrics.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace rlslb::protocols {
+
+class RoundProtocol {
+ public:
+  explicit RoundProtocol(const config::Configuration& initial, std::uint64_t seed)
+      : loads_(initial.loads()), balls_(initial.numBalls()), eng_(seed) {}
+  virtual ~RoundProtocol() = default;
+
+  /// Execute one synchronous round.
+  virtual void round() = 0;
+
+  [[nodiscard]] std::int64_t numBins() const { return static_cast<std::int64_t>(loads_.size()); }
+  [[nodiscard]] std::int64_t numBalls() const { return balls_; }
+  [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
+  [[nodiscard]] std::int64_t roundsTaken() const { return rounds_; }
+
+  [[nodiscard]] config::Metrics metrics() const {
+    return config::computeMetrics(config::Configuration(loads_));
+  }
+
+  /// Run until x-balanced (x = 0 means perfectly balanced, disc < 1) or the
+  /// round budget is exhausted. Returns rounds taken; -1 if not reached.
+  std::int64_t runUntilBalanced(std::int64_t x, std::int64_t maxRounds);
+
+ protected:
+  std::vector<std::int64_t> loads_;
+  std::int64_t balls_;
+  rng::Xoshiro256pp eng_;
+  std::int64_t rounds_ = 0;
+
+  [[nodiscard]] bool balancedWithin(std::int64_t x) const;
+};
+
+}  // namespace rlslb::protocols

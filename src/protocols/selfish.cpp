@@ -1,0 +1,25 @@
+#include "protocols/selfish.hpp"
+
+#include "rng/distributions.hpp"
+
+namespace rlslb::protocols {
+
+void SelfishRerouting::round() {
+  const auto n = static_cast<std::uint64_t>(loads_.size());
+  const std::vector<std::int64_t> before = loads_;  // decisions use round-start loads
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const std::int64_t li = before[i];
+    for (std::int64_t ball = 0; ball < li; ++ball) {
+      const auto j = static_cast<std::size_t>(rng::uniformIndex(eng_, n));
+      const std::int64_t lj = before[j];
+      if (lj >= li) continue;
+      const double p = 1.0 - static_cast<double>(lj) / static_cast<double>(li);
+      if (rng::bernoulli(eng_, p)) {
+        --loads_[i];
+        ++loads_[j];
+      }
+    }
+  }
+}
+
+}  // namespace rlslb::protocols

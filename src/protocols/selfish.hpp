@@ -1,0 +1,22 @@
+// Distributed selfish load balancing, Berenbrink-Friedetzky-Goldberg-
+// Goldberg-Hu-Martin (SICOMP 2007) -- reference [4] of the paper.
+//
+// Synchronous rounds: every ball (in parallel, using the loads at the start
+// of the round) samples a uniformly random bin j; if load(j) < load(i) it
+// migrates with probability 1 - load(j)/load(i). The probability damping is
+// what prevents overshooting when many balls act at once; the paper's
+// Section 2 contrasts its O(ln ln m + n^4) bound with RLS's m-independent
+// local-search behaviour.
+#pragma once
+
+#include "protocols/round_protocol.hpp"
+
+namespace rlslb::protocols {
+
+class SelfishRerouting final : public RoundProtocol {
+ public:
+  using RoundProtocol::RoundProtocol;
+  void round() override;
+};
+
+}  // namespace rlslb::protocols

@@ -1,0 +1,32 @@
+#include "protocols/threshold.hpp"
+
+#include "rng/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::protocols {
+
+ThresholdProtocol::ThresholdProtocol(const config::Configuration& initial, std::uint64_t seed,
+                                     std::int64_t threshold, double moveProbability)
+    : RoundProtocol(initial, seed), threshold_(threshold), moveProbability_(moveProbability) {
+  RLSLB_ASSERT(threshold >= 0);
+  RLSLB_ASSERT(moveProbability > 0.0 && moveProbability <= 1.0);
+}
+
+void ThresholdProtocol::round() {
+  const auto n = static_cast<std::uint64_t>(loads_.size());
+  const std::vector<std::int64_t> before = loads_;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] <= threshold_) continue;
+    // Every ball on an above-threshold bin flips the same coin; the number
+    // of migrants is binomial, destinations uniform.
+    const std::int64_t migrants = rng::binomial(eng_, before[i], moveProbability_);
+    for (std::int64_t k = 0; k < migrants; ++k) {
+      const auto j = static_cast<std::size_t>(rng::uniformIndex(eng_, n));
+      if (j == i) continue;
+      --loads_[i];
+      ++loads_[j];
+    }
+  }
+}
+
+}  // namespace rlslb::protocols

@@ -1,0 +1,30 @@
+// Threshold load balancing in the style of Ackermann-Fischer-Hoefer-
+// Schoengens (Distributed Computing 2011) -- reference [1] of the paper.
+//
+// Each ball carries a threshold T; in each synchronous round every ball
+// whose experienced load exceeds T migrates with probability p to a
+// uniformly random bin. The paper's Section 2 observes that RLS is exactly
+// a *sequential* threshold protocol with an adaptive local threshold (the
+// sampled bin's load); this class provides the fixed-threshold synchronous
+// counterpart for comparison (E10). With T = ceil(m/n) and p = 1/2 the
+// protocol balances to an additive constant; the bench sweeps both knobs.
+#pragma once
+
+#include "protocols/round_protocol.hpp"
+
+namespace rlslb::protocols {
+
+class ThresholdProtocol final : public RoundProtocol {
+ public:
+  ThresholdProtocol(const config::Configuration& initial, std::uint64_t seed,
+                    std::int64_t threshold, double moveProbability);
+  void round() override;
+
+  [[nodiscard]] std::int64_t threshold() const { return threshold_; }
+
+ private:
+  std::int64_t threshold_;
+  double moveProbability_;
+};
+
+}  // namespace rlslb::protocols

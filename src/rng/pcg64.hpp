@@ -1,0 +1,43 @@
+// PCG-XSL-RR 128/64 (O'Neill 2014). Second engine for cross-checking that no
+// statistical artifact in an experiment is generator-specific; also the engine
+// of choice when reproducibility across compilers matters (no UB, pure
+// integer arithmetic on unsigned 128-bit).
+#pragma once
+
+#include <cstdint>
+
+namespace rlslb::rng {
+
+class Pcg64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Pcg64(std::uint64_t seed = 0x853c49e6748fea9bULL, std::uint64_t streamId = 0x2b47) {
+    state_ = 0;
+    inc_ = (static_cast<u128>(streamId) << 1u) | 1u;
+    next();
+    state_ += (static_cast<u128>(seed) << 64) | (seed * 0x9e3779b97f4a7c15ULL);
+    next();
+  }
+
+  std::uint64_t next() {
+    const u128 old = state_;
+    state_ = old * kMultiplier + inc_;
+    const auto xored = static_cast<std::uint64_t>(old >> 64) ^ static_cast<std::uint64_t>(old);
+    const auto rot = static_cast<int>(old >> 122);
+    return (xored >> rot) | (xored << ((-rot) & 63));
+  }
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+ private:
+  __extension__ typedef unsigned __int128 u128;
+  static constexpr u128 kMultiplier =
+      (static_cast<u128>(2549297995355413924ULL) << 64) | 4865540595714422341ULL;
+  u128 state_{};
+  u128 inc_{};
+};
+
+}  // namespace rlslb::rng

@@ -1,0 +1,41 @@
+// SplitMix64 (Steele, Lea, Flood 2014): the canonical 64-bit mixer. We use it
+// (a) to expand a single user seed into full generator state and (b) to derive
+// statistically independent per-replication seeds so experiment results are
+// deterministic for a given base seed regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace rlslb::rng {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless avalanche mix of a single value (same finalizer as SplitMix64).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic seed for replication `rep` of an experiment seeded with
+/// `base`. Replications are independent streams; collisions across (base,rep)
+/// pairs are as unlikely as 64-bit hash collisions.
+constexpr std::uint64_t streamSeed(std::uint64_t base, std::uint64_t rep) {
+  return mix64(base ^ mix64(rep + 0x51ed2701a33cf9a1ULL));
+}
+
+}  // namespace rlslb::rng

@@ -1,0 +1,55 @@
+// xoshiro256++ 1.0 (Blackman & Vigna 2019): the library's default engine.
+// 256-bit state, ~0.8 ns/word, passes BigCrush; jump() provides 2^128-spaced
+// subsequences for long parallel runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace rlslb::rng {
+
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x6a09e667f3bcc908ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+    // All-zero state is a fixed point; SplitMix64 cannot produce four zero
+    // words from any seed, but keep the guard for explicit state setters.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Advance 2^128 steps: partitions the period into non-overlapping streams.
+  void jump();
+
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const { return s_; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace rlslb::rng

@@ -1,0 +1,65 @@
+#include "runner/replication.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "rng/splitmix64.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::runner {
+
+ReplicationResult runReplications(std::int64_t reps, std::uint64_t baseSeed,
+                                  std::size_t numMetrics, const ReplicationFn& fn,
+                                  int numThreads) {
+  RLSLB_ASSERT(reps >= 1 && numMetrics >= 1);
+  if (numThreads <= 0) {
+    numThreads = static_cast<int>(std::thread::hardware_concurrency());
+    if (numThreads <= 0) numThreads = 1;
+  }
+  numThreads = static_cast<int>(std::min<std::int64_t>(numThreads, reps));
+
+  // rows[rep][metric], filled independently per replication.
+  std::vector<std::vector<double>> rows(static_cast<std::size_t>(reps));
+  std::atomic<std::int64_t> next{0};
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::int64_t rep = next.fetch_add(1, std::memory_order_relaxed);
+      if (rep >= reps) return;
+      auto values = fn(rep, rng::streamSeed(baseSeed, static_cast<std::uint64_t>(rep)));
+      RLSLB_ASSERT_MSG(values.size() == numMetrics, "replication returned wrong metric count");
+      rows[static_cast<std::size_t>(rep)] = std::move(values);
+    }
+  };
+
+  if (numThreads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(numThreads));
+    for (int t = 0; t < numThreads; ++t) threads.emplace_back(worker);
+    for (auto& th : threads) th.join();
+  }
+
+  ReplicationResult result;
+  result.samples.assign(numMetrics, std::vector<double>(static_cast<std::size_t>(reps)));
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t metric = 0; metric < numMetrics; ++metric) {
+      result.samples[metric][static_cast<std::size_t>(rep)] =
+          rows[static_cast<std::size_t>(rep)][metric];
+    }
+  }
+  return result;
+}
+
+std::vector<double> runReplicationsScalar(
+    std::int64_t reps, std::uint64_t baseSeed,
+    const std::function<double(std::int64_t, std::uint64_t)>& fn, int numThreads) {
+  const auto result = runReplications(
+      reps, baseSeed, 1,
+      [&fn](std::int64_t rep, std::uint64_t seed) { return std::vector<double>{fn(rep, seed)}; },
+      numThreads);
+  return result.samples[0];
+}
+
+}  // namespace rlslb::runner

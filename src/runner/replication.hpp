@@ -1,0 +1,47 @@
+// Replication harness: run R independent replications of an experiment body
+// and collect per-replication metric vectors.
+//
+// Determinism contract: replication r always receives the seed
+// rng::streamSeed(baseSeed, r), so results are bit-identical for a given
+// baseSeed regardless of thread count or scheduling -- experiment tables in
+// EXPERIMENTS.md are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace rlslb::runner {
+
+/// One replication returns a fixed set of named metrics.
+struct MetricVector {
+  std::vector<double> values;
+};
+
+/// fn(repIndex, seed) -> metric values (same length every call).
+using ReplicationFn = std::function<std::vector<double>(std::int64_t, std::uint64_t)>;
+
+struct ReplicationResult {
+  /// samples[metric][rep]
+  std::vector<std::vector<double>> samples;
+
+  [[nodiscard]] stats::Summary summary(std::size_t metric) const {
+    return stats::summarize(samples[metric]);
+  }
+};
+
+/// Run `reps` replications on `numThreads` threads (0 = hardware
+/// concurrency). `numMetrics` is the length of each replication's result.
+ReplicationResult runReplications(std::int64_t reps, std::uint64_t baseSeed,
+                                  std::size_t numMetrics, const ReplicationFn& fn,
+                                  int numThreads = 0);
+
+/// Single-metric convenience wrapper.
+std::vector<double> runReplicationsScalar(std::int64_t reps, std::uint64_t baseSeed,
+                                          const std::function<double(std::int64_t, std::uint64_t)>& fn,
+                                          int numThreads = 0);
+
+}  // namespace rlslb::runner

@@ -1,0 +1,24 @@
+#include "sim/engine.hpp"
+
+namespace rlslb::sim {
+
+RunResult runUntil(Engine& engine, Target target, const RunLimits& limits, Probe* probe) {
+  RunResult result;
+  if (probe != nullptr) probe->onEvent(engine);
+  bool reached = target.reached(engine.state());
+  std::int64_t steps = 0;
+  while (!reached && engine.time() < limits.maxTime && steps < limits.maxEvents) {
+    if (!engine.step()) break;  // absorbed
+    ++steps;
+    if (probe != nullptr) probe->onEvent(engine);
+    reached = target.reached(engine.state());
+  }
+  result.time = engine.time();
+  result.moves = engine.moves();
+  result.activations = engine.activations();
+  result.finalState = engine.state();
+  result.reachedTarget = reached || target.reached(engine.state());
+  return result;
+}
+
+}  // namespace rlslb::sim

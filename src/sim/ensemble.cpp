@@ -1,0 +1,47 @@
+#include "sim/ensemble.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rlslb::sim {
+
+EnsembleAccumulator::EnsembleAccumulator(double dt, double horizon) : dt_(dt) {
+  RLSLB_ASSERT(dt > 0.0 && horizon >= 0.0);
+  const auto gridSize = static_cast<std::size_t>(horizon / dt) + 1;
+  discSum_.assign(gridSize, 0.0);
+  logDiscSum_.assign(gridSize, 0.0);
+  overloadedSum_.assign(gridSize, 0.0);
+}
+
+void EnsembleAccumulator::addRun(const std::vector<TrajectoryRecorder::Point>& trajectory) {
+  RLSLB_ASSERT(!trajectory.empty());
+  RLSLB_ASSERT_MSG(trajectory.front().time == 0.0, "trajectory must start at t = 0");
+  std::size_t cursor = 0;
+  for (std::size_t g = 0; g < discSum_.size(); ++g) {
+    const double t = timeAt(g);
+    while (cursor + 1 < trajectory.size() && trajectory[cursor + 1].time <= t) ++cursor;
+    const auto& p = trajectory[cursor];
+    discSum_[g] += p.discrepancy;
+    logDiscSum_[g] += std::log1p(p.discrepancy);
+    overloadedSum_[g] += static_cast<double>(p.overloadedBalls);
+  }
+  ++runs_;
+}
+
+double EnsembleAccumulator::meanDiscrepancy(std::size_t g) const {
+  RLSLB_ASSERT(runs_ > 0 && g < discSum_.size());
+  return discSum_[g] / static_cast<double>(runs_);
+}
+
+double EnsembleAccumulator::meanLogDiscrepancy(std::size_t g) const {
+  RLSLB_ASSERT(runs_ > 0 && g < logDiscSum_.size());
+  return logDiscSum_[g] / static_cast<double>(runs_);
+}
+
+double EnsembleAccumulator::meanOverloaded(std::size_t g) const {
+  RLSLB_ASSERT(runs_ > 0 && g < overloadedSum_.size());
+  return overloadedSum_[g] / static_cast<double>(runs_);
+}
+
+}  // namespace rlslb::sim

@@ -1,0 +1,42 @@
+// Ensemble statistics over replicated trajectories: accumulate per-run
+// sample-and-hold values of the balance metrics on a shared time grid, so
+// benches and applications can report E[disc(t)] / E[overloaded(t)] curves
+// (the figure-style view of the phase decomposition, E15).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/probes.hpp"
+
+namespace rlslb::sim {
+
+class EnsembleAccumulator {
+ public:
+  /// Grid points at 0, dt, 2*dt, ..., horizon (inclusive of the last point
+  /// <= horizon).
+  EnsembleAccumulator(double dt, double horizon);
+
+  /// Fold one run's trajectory in (sample-and-hold between points). The
+  /// trajectory must start at time 0 and be time-sorted (TrajectoryRecorder
+  /// guarantees both). Trajectories shorter than the horizon hold their
+  /// final value.
+  void addRun(const std::vector<TrajectoryRecorder::Point>& trajectory);
+
+  [[nodiscard]] std::int64_t runs() const { return runs_; }
+  [[nodiscard]] std::size_t gridSize() const { return discSum_.size(); }
+  [[nodiscard]] double timeAt(std::size_t g) const { return static_cast<double>(g) * dt_; }
+
+  [[nodiscard]] double meanDiscrepancy(std::size_t g) const;
+  [[nodiscard]] double meanLogDiscrepancy(std::size_t g) const;  // E[log(1+disc)]
+  [[nodiscard]] double meanOverloaded(std::size_t g) const;
+
+ private:
+  double dt_;
+  std::int64_t runs_ = 0;
+  std::vector<double> discSum_;
+  std::vector<double> logDiscSum_;
+  std::vector<double> overloadedSum_;
+};
+
+}  // namespace rlslb::sim

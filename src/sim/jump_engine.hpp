@@ -1,0 +1,61 @@
+// JumpEngine: event-skipping exact simulator of the *lumped* RLS chain.
+//
+// Balls and bins are identical, so the load multiset is itself a CTMC
+// (lumpability). Two further exact reductions make the endgame cheap:
+//
+//  1. Failed activations leave the configuration unchanged; the multiset
+//     process jumps only at successful moves, with inter-jump times
+//     Exp(total rate). Phase 2/3 of the paper waste Theta(n^2) activations
+//     per useful move; this engine skips all of them.
+//  2. Neutral moves (src load = dst load + 1) permute bin labels but fix the
+//     multiset: they are self-loops of the lumped chain and carry no
+//     information, so they are skipped as well. A corollary (the paper's
+//     Section 3 remark): the ">=" protocol and the strict ">" variant induce
+//     the *same* lumped chain, hence identical balancing-time distributions.
+//
+// The remaining transitions move a ball from a level-v bin to a level-u bin
+// with u <= v - 2 at rate v * cnt(v) * cnt(u) / n. Each event costs O(L)
+// with L = number of distinct load values (L <= min(n, spread + 1)).
+// The chain is absorbed exactly when max - min <= 1, i.e. perfect balance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "ds/load_multiset.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "sim/engine.hpp"
+
+namespace rlslb::sim {
+
+class JumpEngine final : public Engine {
+ public:
+  JumpEngine(const config::Configuration& initial, std::uint64_t seed);
+  JumpEngine(ds::LoadMultiset initial, std::uint64_t seed, double startTime = 0.0,
+             std::int64_t startMoves = 0);
+
+  bool step() override;
+  [[nodiscard]] double time() const override { return time_; }
+  [[nodiscard]] std::int64_t moves() const override { return moves_; }
+  [[nodiscard]] std::int64_t activations() const override { return -1; }
+  [[nodiscard]] const BalanceState& state() const override { return state_; }
+
+  [[nodiscard]] const ds::LoadMultiset& multiset() const { return ms_; }
+
+  /// Total rate of multiset-changing moves in the current state
+  /// (R = (1/n) * sum_{u <= v-2} v*cnt(v)*cnt(u)); 0 iff absorbed.
+  [[nodiscard]] double totalRate() const;
+
+ private:
+  ds::LoadMultiset ms_;
+  rng::Xoshiro256pp eng_;
+  BalanceState state_;
+  double time_;
+  std::int64_t moves_;
+  std::vector<double> weightScratch_;  // per-level source weights, reused
+
+  void refreshState();
+};
+
+}  // namespace rlslb::sim

@@ -1,0 +1,40 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "rng/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::stats {
+
+BootstrapCi bootstrapCi(const std::vector<double>& samples,
+                        const std::function<double(const std::vector<double>&)>& statistic,
+                        int resamples, double confidence, rng::Xoshiro256pp& eng) {
+  RLSLB_ASSERT(!samples.empty());
+  RLSLB_ASSERT(resamples >= 10);
+  RLSLB_ASSERT(confidence > 0.0 && confidence < 1.0);
+
+  BootstrapCi out;
+  out.estimate = statistic(samples);
+
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(samples.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (auto& v : resample) {
+      v = samples[static_cast<std::size_t>(rng::uniformIndex(eng, samples.size()))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto idx = [&](double q) {
+    const double h = q * static_cast<double>(stats.size() - 1);
+    return stats[static_cast<std::size_t>(h + 0.5)];
+  };
+  out.lo = idx(alpha);
+  out.hi = idx(1.0 - alpha);
+  return out;
+}
+
+}  // namespace rlslb::stats

@@ -1,0 +1,26 @@
+// Percentile bootstrap confidence intervals. Balancing-time distributions
+// are heavy-tailed near phase boundaries, where the t-interval on the mean
+// is optimistic; the w.h.p. experiment (E4) reports bootstrap intervals on
+// tail quantiles instead.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rng/xoshiro256pp.hpp"
+
+namespace rlslb::stats {
+
+struct BootstrapCi {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile bootstrap CI at the given confidence for an arbitrary statistic
+/// of the sample (e.g. mean, median, p99 via a lambda).
+BootstrapCi bootstrapCi(const std::vector<double>& samples,
+                        const std::function<double(const std::vector<double>&)>& statistic,
+                        int resamples, double confidence, rng::Xoshiro256pp& eng);
+
+}  // namespace rlslb::stats

@@ -1,0 +1,45 @@
+#include "stats/linalg.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rlslb::stats {
+
+bool solveLinearSystem(Matrix a, std::vector<double> b, std::vector<double>& xOut) {
+  const std::size_t n = a.rows();
+  RLSLB_ASSERT(a.cols() == n && b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  xOut.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double v = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) v -= a.at(ri, c) * xOut[c];
+    xOut[ri] = v / a.at(ri, ri);
+  }
+  return true;
+}
+
+}  // namespace rlslb::stats

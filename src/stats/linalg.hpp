@@ -1,0 +1,30 @@
+// Minimal dense linear algebra: row-major matrix, Gaussian elimination with
+// partial pivoting. Backs the OLS regression and the exact absorbing-chain
+// solver; systems here are small (tens to a few thousand unknowns).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rlslb::stats {
+
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting. A is consumed
+/// as the working copy. Returns false if the system is (numerically) singular.
+bool solveLinearSystem(Matrix a, std::vector<double> b, std::vector<double>& xOut);
+
+}  // namespace rlslb::stats

@@ -1,0 +1,47 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rlslb::stats {
+
+OlsFit olsFit(const std::vector<std::vector<double>>& rows, const std::vector<double>& y) {
+  OlsFit fit;
+  RLSLB_ASSERT(!rows.empty() && rows.size() == y.size());
+  const std::size_t k = rows[0].size();
+  RLSLB_ASSERT(k >= 1);
+  for (const auto& r : rows) RLSLB_ASSERT(r.size() == k);
+
+  // Normal equations X^T X beta = X^T y.
+  Matrix xtx(k, k, 0.0);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t a = 0; a < k; ++a) {
+      xty[a] += rows[i][a] * y[i];
+      for (std::size_t b = 0; b < k; ++b) xtx.at(a, b) += rows[i][a] * rows[i][b];
+    }
+  }
+  if (!solveLinearSystem(std::move(xtx), std::move(xty), fit.coefficients)) {
+    fit.ok = false;
+    return fit;
+  }
+  fit.ok = true;
+
+  double yMean = 0.0;
+  for (double v : y) yMean += v;
+  yMean /= static_cast<double>(y.size());
+  double ssTot = 0.0;
+  double ssRes = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    double pred = 0.0;
+    for (std::size_t a = 0; a < k; ++a) pred += fit.coefficients[a] * rows[i][a];
+    ssRes += (y[i] - pred) * (y[i] - pred);
+    ssTot += (y[i] - yMean) * (y[i] - yMean);
+  }
+  fit.residualRms = std::sqrt(ssRes / static_cast<double>(y.size()));
+  fit.r2 = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 1.0;
+  return fit;
+}
+
+}  // namespace rlslb::stats

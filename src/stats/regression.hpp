@@ -1,0 +1,25 @@
+// Ordinary least squares on user-supplied feature rows. The Theorem-1
+// experiment fits  E[T] ~ a*ln(n) + b*n^2/m + c  and inspects the
+// coefficients and R^2; nothing fancier is needed, so this solves the normal
+// equations directly.
+#pragma once
+
+#include <vector>
+
+#include "stats/linalg.hpp"
+
+namespace rlslb::stats {
+
+struct OlsFit {
+  std::vector<double> coefficients;
+  double r2 = 0.0;           // coefficient of determination
+  double residualRms = 0.0;  // sqrt(mean squared residual)
+  bool ok = false;           // false if the normal equations were singular
+};
+
+/// rows[i] is the feature vector of observation i; y[i] its response.
+/// All rows must have equal length k >= 1 (include a constant-1 feature for
+/// an intercept).
+OlsFit olsFit(const std::vector<std::vector<double>>& rows, const std::vector<double>& y);
+
+}  // namespace rlslb::stats

@@ -1,0 +1,33 @@
+// Welford streaming moments with numerically stable parallel merge.
+#pragma once
+
+#include <cstdint>
+
+namespace rlslb::stats {
+
+class RunningStat {
+ public:
+  void add(double x);
+  /// Combine with another accumulator (Chan et al. pairwise update); used to
+  /// merge per-thread replication results deterministically.
+  void merge(const RunningStat& other);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rlslb::stats

@@ -1,0 +1,137 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rlslb::stats {
+
+double normalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normalQuantile(double p) {
+  RLSLB_ASSERT(p > 0.0 && p < 1.0);
+  // Acklam's approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double pLow = 0.02425;
+  double x;
+  if (p < pLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - pLow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the exact CDF.
+  const double e = normalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+namespace {
+
+/// P(a, x) by power series, valid for x < a + 1.
+double gammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Q(a, x) by Lentz continued fraction, valid for x >= a + 1.
+double gammaQContinued(double a, double x) {
+  constexpr double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-16) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double gammaP(double a, double x) {
+  RLSLB_ASSERT(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gammaPSeries(a, x);
+  return 1.0 - gammaQContinued(a, x);
+}
+
+double gammaQ(double a, double x) {
+  RLSLB_ASSERT(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gammaPSeries(a, x);
+  return gammaQContinued(a, x);
+}
+
+double kolmogorovSurvival(double x) {
+  if (x <= 0.0) return 1.0;
+  if (x >= 8.0) return 0.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 200; ++k) {
+    const double term = std::exp(-2.0 * static_cast<double>(k) * static_cast<double>(k) * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-18) break;
+  }
+  const double q = 2.0 * sum;
+  if (q < 0.0) return 0.0;
+  if (q > 1.0) return 1.0;
+  return q;
+}
+
+double chiSquareSurvival(double x, int dof) {
+  RLSLB_ASSERT(dof >= 1);
+  if (x <= 0.0) return 1.0;
+  return gammaQ(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+double tQuantile975(int dof) {
+  RLSLB_ASSERT(dof >= 1);
+  static constexpr double table[] = {
+      /* dof=1..30 */
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof <= 30) return table[dof - 1];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+}  // namespace rlslb::stats

@@ -1,0 +1,32 @@
+// Special functions backing the hypothesis tests and confidence intervals.
+// Self-contained implementations (no external math library): normal CDF and
+// quantile, regularized incomplete gamma, and the Kolmogorov distribution.
+#pragma once
+
+namespace rlslb::stats {
+
+/// Standard normal CDF.
+double normalCdf(double x);
+
+/// Standard normal quantile (inverse CDF), Acklam's rational approximation
+/// refined with one Halley step; |error| < 1e-12 on (0, 1).
+double normalQuantile(double p);
+
+/// Regularized lower incomplete gamma P(a, x); Q(a, x) = 1 - P(a, x).
+/// Series for x < a + 1, continued fraction otherwise (Numerical-Recipes
+/// style, to double precision).
+double gammaP(double a, double x);
+double gammaQ(double a, double x);
+
+/// Kolmogorov distribution survival function
+/// Q_KS(x) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2); Q(0+) = 1.
+double kolmogorovSurvival(double x);
+
+/// Chi-square survival function with k degrees of freedom.
+double chiSquareSurvival(double x, int dof);
+
+/// Student-t two-sided 97.5% quantile (for 95% CIs); exact table for small
+/// dof, normal limit beyond.
+double tQuantile975(int dof);
+
+}  // namespace rlslb::stats

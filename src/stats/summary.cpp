@@ -1,0 +1,77 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/running_stat.hpp"
+#include "stats/special.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::stats {
+
+double quantile(std::vector<double> samples, double q) {
+  RLSLB_ASSERT(!samples.empty());
+  RLSLB_ASSERT(q >= 0.0 && q <= 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double h = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double pearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  RLSLB_ASSERT(x.size() == y.size() && x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  RLSLB_ASSERT(!samples.empty());
+  RunningStat rs;
+  for (double x : samples) rs.add(x);
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const auto pick = [&](double q) {
+    const double h = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const auto hi = static_cast<std::size_t>(std::ceil(h));
+    const double frac = h - std::floor(h);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+
+  Summary s;
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.sem = rs.sem();
+  s.ci95Half = s.count >= 2 ? tQuantile975(static_cast<int>(s.count - 1)) * s.sem : 0.0;
+  s.min = sorted.front();
+  s.p25 = pick(0.25);
+  s.median = pick(0.5);
+  s.p75 = pick(0.75);
+  s.p90 = pick(0.90);
+  s.p99 = pick(0.99);
+  s.max = sorted.back();
+  return s;
+}
+
+}  // namespace rlslb::stats

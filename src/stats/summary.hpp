@@ -1,0 +1,35 @@
+// Batch summary of a sample vector: moments, quantiles, and a Student-t
+// confidence interval for the mean. Used to report every experiment cell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rlslb::stats {
+
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double sem = 0.0;
+  double ci95Half = 0.0;  // half-width of the two-sided 95% CI on the mean
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Compute all fields; `samples` is copied for quantile selection.
+Summary summarize(const std::vector<double>& samples);
+
+/// Empirical quantile with linear interpolation (type-7, the numpy default).
+double quantile(std::vector<double> samples, double q);
+
+/// Pearson correlation coefficient of two equal-length samples
+/// (0 if either is constant).
+double pearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace rlslb::stats

@@ -1,0 +1,131 @@
+#include "stats/tests.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::stats {
+
+TestResult mannWhitneyU(const std::vector<double>& a, const std::vector<double>& b) {
+  RLSLB_ASSERT(!a.empty() && !b.empty());
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+
+  struct Tagged {
+    double v;
+    int who;
+  };
+  std::vector<Tagged> all;
+  all.reserve(na + nb);
+  for (double v : a) all.push_back({v, 0});
+  for (double v : b) all.push_back({v, 1});
+  std::sort(all.begin(), all.end(), [](const Tagged& x, const Tagged& y) { return x.v < y.v; });
+
+  // Midranks with tie bookkeeping.
+  double rankSumA = 0.0;
+  double tieTerm = 0.0;  // sum over tie groups of (t^3 - t)
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].v == all[i].v) ++j;
+    const double t = static_cast<double>(j - i);
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (all[k].who == 0) rankSumA += midrank;
+    }
+    if (t > 1.0) tieTerm += t * t * t - t;
+    i = j;
+  }
+
+  const double nad = static_cast<double>(na);
+  const double nbd = static_cast<double>(nb);
+  const double u = rankSumA - nad * (nad + 1.0) / 2.0;
+  const double meanU = nad * nbd / 2.0;
+  const double nTot = nad + nbd;
+  const double varU =
+      nad * nbd / 12.0 * ((nTot + 1.0) - tieTerm / (nTot * (nTot - 1.0)));
+
+  TestResult res;
+  res.statistic = u;
+  if (varU <= 0.0) {
+    // All observations tied: the samples are indistinguishable.
+    res.pValue = 1.0;
+    return res;
+  }
+  const double z = (u - meanU) / std::sqrt(varU);
+  res.pValue = 2.0 * (1.0 - normalCdf(std::fabs(z)));
+  if (res.pValue > 1.0) res.pValue = 1.0;
+  return res;
+}
+
+TestResult ksTwoSample(const std::vector<double>& a, const std::vector<double>& b) {
+  RLSLB_ASSERT(!a.empty() && !b.empty());
+  std::vector<double> sa = a;
+  std::vector<double> sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double va = sa[ia];
+    const double vb = sb[ib];
+    const double v = std::min(va, vb);
+    while (ia < sa.size() && sa[ia] <= v) ++ia;
+    while (ib < sb.size() && sb[ib] <= v) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+
+  TestResult res;
+  res.statistic = d;
+  const double en = std::sqrt(na * nb / (na + nb));
+  // Stephens' small-sample adjustment.
+  res.pValue = kolmogorovSurvival((en + 0.12 + 0.11 / en) * d);
+  return res;
+}
+
+TestResult ksOneSample(const std::vector<double>& samples,
+                       const std::function<double(double)>& cdf) {
+  RLSLB_ASSERT(!samples.empty());
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::fabs(f - lo), std::fabs(hi - f)));
+  }
+  TestResult res;
+  res.statistic = d;
+  const double en = std::sqrt(n);
+  res.pValue = kolmogorovSurvival((en + 0.12 + 0.11 / en) * d);
+  return res;
+}
+
+TestResult chiSquareGof(const std::vector<std::int64_t>& observed,
+                        const std::vector<double>& expected, int extraConstraints) {
+  RLSLB_ASSERT(observed.size() == expected.size() && observed.size() >= 2);
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    RLSLB_ASSERT(expected[i] > 0.0);
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  const int dof = static_cast<int>(observed.size()) - 1 - extraConstraints;
+  RLSLB_ASSERT(dof >= 1);
+  TestResult res;
+  res.statistic = stat;
+  res.pValue = chiSquareSurvival(stat, dof);
+  return res;
+}
+
+}  // namespace rlslb::stats

@@ -1,0 +1,38 @@
+// Two-sample hypothesis tests used by the validation suite:
+//  - Mann-Whitney U:  are two balancing-time samples from the same
+//    distribution? (E10: RLS vs strict-RLS must NOT separate.)
+//  - Kolmogorov-Smirnov: distributional equality of engine outputs (E13).
+//  - Chi-square goodness of fit: uniformity of samplers.
+// All return asymptotic p-values; callers use generous significance levels
+// appropriate for automated regression testing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rlslb::stats {
+
+struct TestResult {
+  double statistic = 0.0;
+  double pValue = 1.0;
+};
+
+/// Two-sided Mann-Whitney U with normal approximation and tie correction.
+TestResult mannWhitneyU(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Two-sample Kolmogorov-Smirnov, asymptotic p-value.
+TestResult ksTwoSample(const std::vector<double>& a, const std::vector<double>& b);
+
+/// One-sample Kolmogorov-Smirnov against a fully specified continuous CDF,
+/// asymptotic p-value. This is how the simulators are validated against the
+/// exact uniformization CDF of the tiny-system chain (DESIGN.md, E13).
+TestResult ksOneSample(const std::vector<double>& samples,
+                       const std::function<double(double)>& cdf);
+
+/// Chi-square goodness of fit of observed counts against expected counts
+/// (same length, expected > 0, dof = len - 1 - extraConstraints).
+TestResult chiSquareGof(const std::vector<std::int64_t>& observed,
+                        const std::vector<double>& expected, int extraConstraints = 0);
+
+}  // namespace rlslb::stats

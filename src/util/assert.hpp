@@ -1,0 +1,40 @@
+// Lightweight assertion macros used across the library.
+//
+// RLSLB_ASSERT is active in every build type: the simulators are the
+// ground truth for the experiments, so internal invariant violations must
+// never be silently ignored. Use RLSLB_HEAVY_ASSERT for checks whose cost
+// would change the asymptotics of the enclosing operation (full-state
+// rescans); those compile away unless RLSLB_HEAVY_CHECKS is defined.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rlslb {
+
+[[noreturn]] inline void assertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "rlslb assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace rlslb
+
+#define RLSLB_ASSERT(expr)                                        \
+  do {                                                            \
+    if (!(expr)) ::rlslb::assertFail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define RLSLB_ASSERT_MSG(expr, msg)                               \
+  do {                                                            \
+    if (!(expr)) ::rlslb::assertFail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#ifdef RLSLB_HEAVY_CHECKS
+#define RLSLB_HEAVY_ASSERT(expr) RLSLB_ASSERT(expr)
+#else
+#define RLSLB_HEAVY_ASSERT(expr) \
+  do {                           \
+  } while (false)
+#endif

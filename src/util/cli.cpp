@@ -1,0 +1,79 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace rlslb {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    RLSLB_ASSERT_MSG(arg.rfind("--", 0) == 0, "arguments must be --key or --key=value");
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  used_[name] = true;
+  return true;
+}
+
+std::string CliArgs::getString(const std::string& name, const std::string& dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  return it->second;
+}
+
+std::int64_t CliArgs::getInt(const std::string& name, std::int64_t dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  RLSLB_ASSERT_MSG(end != nullptr && *end == '\0', "malformed integer CLI value");
+  return v;
+}
+
+double CliArgs::getDouble(const std::string& name, double dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  RLSLB_ASSERT_MSG(end != nullptr && *end == '\0', "malformed double CLI value");
+  return v;
+}
+
+bool CliArgs::getBool(const std::string& name, bool dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  RLSLB_ASSERT_MSG(false, "malformed boolean CLI value");
+  return dflt;
+}
+
+std::vector<std::string> CliArgs::unusedKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : values_) {
+    auto it = used_.find(k);
+    if (it == used_.end() || !it->second) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace rlslb

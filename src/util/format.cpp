@@ -1,0 +1,73 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rlslb {
+
+std::string formatSig(double value, int sig) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  const double a = std::fabs(value);
+  // %g flips to scientific once the exponent reaches `sig`; keep moderate
+  // magnitudes in plain decimal so tables stay readable.
+  if (a != 0.0 && (a >= 1e15 || a < 1e-4)) {
+    std::snprintf(buf, sizeof(buf), "%.*g", sig, value);
+    return buf;
+  }
+  // Digits before the decimal point; <= 0 for values below 1 so that small
+  // values keep their full significant precision (0.25 at sig=2 -> "0.25").
+  const int intDigits = a == 0.0 ? 1 : static_cast<int>(std::floor(std::log10(a))) + 1;
+  const int decimals = sig > intDigits ? sig - intDigits : 0;
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  std::string s = buf;
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string formatFixed(double value, int prec) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, value);
+  return buf;
+}
+
+std::string formatCount(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  std::string digits = buf;
+  bool negative = !digits.empty() && digits[0] == '-';
+  std::size_t begin = negative ? 1 : 0;
+  std::string out;
+  std::size_t len = digits.size() - begin;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i != 0 && (len - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[begin + i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string formatHuman(double value) {
+  const double a = std::fabs(value);
+  if (a >= 1e9) return formatSig(value / 1e9, 3) + "G";
+  if (a >= 1e6) return formatSig(value / 1e6, 3) + "M";
+  if (a >= 1e3) return formatSig(value / 1e3, 3) + "k";
+  return formatSig(value, 3);
+}
+
+std::string padLeft(const std::string& s, std::size_t w) {
+  if (s.size() >= w) return s;
+  return std::string(w - s.size(), ' ') + s;
+}
+
+std::string padRight(const std::string& s, std::size_t w) {
+  if (s.size() >= w) return s;
+  return s + std::string(w - s.size(), ' ');
+}
+
+}  // namespace rlslb

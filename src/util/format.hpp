@@ -1,0 +1,27 @@
+// Small string-formatting helpers shared by the table printer and harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rlslb {
+
+/// Format a double with `sig` significant digits, trimming trailing zeros
+/// ("3.1400" -> "3.14", "12000" stays "12000"). Uses fixed or scientific
+/// notation depending on magnitude, like %g but with stable width behaviour.
+std::string formatSig(double value, int sig = 4);
+
+/// Fixed-point with `prec` digits after the decimal point.
+std::string formatFixed(double value, int prec = 3);
+
+/// Group thousands: 1234567 -> "1,234,567".
+std::string formatCount(std::int64_t value);
+
+/// "1.23k", "4.5M", "6.7G" style magnitudes for axis-like labels.
+std::string formatHuman(double value);
+
+/// Left/right pad `s` with spaces to width `w` (no truncation).
+std::string padLeft(const std::string& s, std::size_t w);
+std::string padRight(const std::string& s, std::size_t w);
+
+}  // namespace rlslb

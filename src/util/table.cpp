@@ -1,0 +1,127 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/format.hpp"
+
+namespace rlslb {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RLSLB_ASSERT(!headers_.empty());
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    RLSLB_ASSERT_MSG(rows_.back().size() == headers_.size(),
+                     "previous row incomplete when starting a new row");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& v) {
+  RLSLB_ASSERT_MSG(!rows_.empty(), "call row() before cell()");
+  RLSLB_ASSERT_MSG(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+Table& Table::cell(double v, int sig) { return cell(formatSig(v, sig)); }
+Table& Table::cell(std::int64_t v) { return cell(formatCount(v)); }
+Table& Table::cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+Table& Table::cell(std::size_t v) { return cell(static_cast<std::int64_t>(v)); }
+
+const std::string& Table::at(std::size_t r, std::size_t c) const {
+  RLSLB_ASSERT(r < rows_.size() && c < rows_[r].size());
+  return rows_[r][c];
+}
+
+std::vector<std::size_t> Table::columnWidths() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) w[c] = std::max(w[c], r[c].size());
+  }
+  return w;
+}
+
+std::string Table::toString() const {
+  const auto w = columnWidths();
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << "  ";
+    os << padRight(headers_[c], w[c]);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << "  ";
+    os << std::string(w[c], '-');
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c != 0) os << "  ";
+      os << padLeft(r[c], w[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::toMarkdown() const {
+  const auto w = columnWidths();
+  std::ostringstream os;
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << ' ' << padRight(headers_[c], w[c]) << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << ' ' << std::string(w[c], '-') << " |";
+  os << '\n';
+  for (const auto& r : rows_) {
+    os << "|";
+    for (std::size_t c = 0; c < r.size(); ++c) os << ' ' << padLeft(r[c], w[c]) << " |";
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+std::string csvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+std::string Table::toCsv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << ',';
+    os << csvEscape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csvEscape(r[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << title << '\n';
+  os << toString();
+}
+
+}  // namespace rlslb

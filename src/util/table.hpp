@@ -1,0 +1,47 @@
+// Column-aligned table builder used by every benchmark harness to print the
+// paper-style result rows, with optional CSV export alongside.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlslb {
+
+/// A table with named columns; cells are strings, with typed add helpers.
+/// Rendering aligns every column and supports plain / markdown / CSV output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& v);
+  Table& cell(const char* v);
+  Table& cell(double v, int sig = 4);
+  Table& cell(std::int64_t v);
+  Table& cell(int v);
+  Table& cell(std::size_t v);
+
+  [[nodiscard]] std::size_t numRows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t numCols() const { return headers_.size(); }
+  [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Render with space padding and a header underline.
+  [[nodiscard]] std::string toString() const;
+  /// Render as a GitHub-flavored markdown table.
+  [[nodiscard]] std::string toMarkdown() const;
+  /// Render as CSV (RFC-4180 quoting for cells containing commas/quotes).
+  [[nodiscard]] std::string toCsv() const;
+
+  /// Print toString() to the stream, prefixed by an optional title line.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  [[nodiscard]] std::vector<std::size_t> columnWidths() const;
+};
+
+}  // namespace rlslb

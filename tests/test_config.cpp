@@ -1,0 +1,292 @@
+// Tests for src/config: Configuration, exact metrics, and every initial
+// configuration generator used by the experiments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include "config/configuration.hpp"
+#include "config/generators.hpp"
+#include "config/metrics.hpp"
+#include "stats/running_stat.hpp"
+
+namespace rlslb::config {
+namespace {
+
+TEST(Configuration, BasicAccessors) {
+  Configuration c({3, 0, 1});
+  EXPECT_EQ(c.numBins(), 3);
+  EXPECT_EQ(c.numBalls(), 4);
+  EXPECT_DOUBLE_EQ(c.averageLoad(), 4.0 / 3.0);
+  EXPECT_EQ(c.floorAverage(), 1);
+  EXPECT_EQ(c.ceilAverage(), 2);
+  EXPECT_EQ(c.load(0), 3);
+}
+
+TEST(Configuration, MoveBall) {
+  Configuration c({2, 0});
+  c.moveBall(0, 1);
+  EXPECT_EQ(c.load(0), 1);
+  EXPECT_EQ(c.load(1), 1);
+  EXPECT_EQ(c.numBalls(), 2);
+}
+
+TEST(Configuration, ToMultisetMatches) {
+  Configuration c({4, 4, 1});
+  const auto ms = c.toMultiset();
+  EXPECT_EQ(ms.countAt(4), 2);
+  EXPECT_EQ(ms.countAt(1), 1);
+}
+
+TEST(Metrics, PerfectBalancePredicateExactDivisible) {
+  // n | m: perfect means all loads equal.
+  EXPECT_TRUE(isPerfectlyBalanced(2, 2, 4, 8));
+  EXPECT_FALSE(isPerfectlyBalanced(1, 3, 4, 8));
+  EXPECT_FALSE(isPerfectlyBalanced(1, 2, 4, 8));  // some bin at 1: disc = 1
+}
+
+TEST(Metrics, PerfectBalancePredicateNonDivisible) {
+  // m = 9, n = 4: loads must be {2,2,2,3} -> min 2 max 3.
+  EXPECT_TRUE(isPerfectlyBalanced(2, 3, 4, 9));
+  EXPECT_FALSE(isPerfectlyBalanced(1, 3, 4, 9));
+  EXPECT_FALSE(isPerfectlyBalanced(2, 4, 4, 9));
+}
+
+TEST(Metrics, XBalancedIntExactness) {
+  // avg = 2.25; maxLoad 4 -> deviation 1.75 <= 2, minLoad 1 -> 1.25 <= 2.
+  EXPECT_TRUE(isXBalancedInt(1, 4, 4, 9, 2));
+  EXPECT_FALSE(isXBalancedInt(1, 5, 4, 9, 2));  // 5 - 2.25 = 2.75 > 2
+  EXPECT_FALSE(isXBalancedInt(0, 4, 4, 9, 2));  // 2.25 - 0 = 2.25 > 2
+}
+
+TEST(Metrics, DiscrepancyValue) {
+  EXPECT_DOUBLE_EQ(discrepancy(0, 8, 4, 8), 6.0);   // avg 2
+  EXPECT_DOUBLE_EQ(discrepancy(2, 2, 4, 8), 0.0);
+  EXPECT_NEAR(discrepancy(2, 3, 4, 9), 0.75, 1e-12);
+}
+
+TEST(Metrics, ComputeMetricsFullSweep) {
+  Configuration c({5, 2, 2, 1, 0});  // m=10, n=5, avg=2
+  const Metrics mm = computeMetrics(c);
+  EXPECT_EQ(mm.minLoad, 0);
+  EXPECT_EQ(mm.maxLoad, 5);
+  EXPECT_DOUBLE_EQ(mm.discrepancy, 3.0);
+  EXPECT_EQ(mm.overloadedBalls, 3);  // bin with 5: 5-2=3
+  EXPECT_EQ(mm.overloadedBins, 1);
+  EXPECT_EQ(mm.underloadedBins, 2);  // loads 1 and 0
+  EXPECT_EQ(mm.binsAtFloor, 2);
+  EXPECT_FALSE(mm.perfectlyBalanced);
+}
+
+TEST(Metrics, MultisetAgreesWithConfiguration) {
+  Configuration c({7, 3, 3, 0, 2});
+  const Metrics a = computeMetrics(c);
+  const Metrics b = computeMetrics(c.toMultiset());
+  EXPECT_EQ(a.minLoad, b.minLoad);
+  EXPECT_EQ(a.maxLoad, b.maxLoad);
+  EXPECT_EQ(a.overloadedBalls, b.overloadedBalls);
+  EXPECT_EQ(a.overloadedBins, b.overloadedBins);
+  EXPECT_EQ(a.underloadedBins, b.underloadedBins);
+  EXPECT_EQ(a.binsAtFloor, b.binsAtFloor);
+  EXPECT_DOUBLE_EQ(a.discrepancy, b.discrepancy);
+}
+
+TEST(Metrics, OverloadedBallsEqualsHoles) {
+  // For n | m the number of overloaded balls equals the number of holes
+  // (paper, Section 6.2).
+  Configuration c({4, 3, 1, 0});  // m=8, n=4, avg=2
+  const Metrics mm = computeMetrics(c);
+  std::int64_t holes = 0;
+  for (std::int64_t v : c.loads()) holes += std::max<std::int64_t>(0, 2 - v);
+  EXPECT_EQ(mm.overloadedBalls, holes);
+}
+
+TEST(Metrics, Lemma16PotentialRange) {
+  // Potential 3A - k - h is between 0 and 3n and zero at perfect balance.
+  Configuration balancedC({2, 2, 2, 2});
+  EXPECT_EQ(lemma16Potential(balancedC.toMultiset()), 0);
+  Configuration c({4, 2, 1, 1});
+  const std::int64_t pot = lemma16Potential(c.toMultiset());
+  EXPECT_GE(pot, 0);
+  EXPECT_LE(pot, 3 * 4);
+}
+
+TEST(Generators, AllInOne) {
+  const auto c = allInOne(5, 12);
+  EXPECT_EQ(c.load(0), 12);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(c.load(i), 0);
+  EXPECT_EQ(c.numBalls(), 12);
+}
+
+TEST(Generators, BalancedDivisible) {
+  const auto c = balanced(4, 8);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(c.load(i), 2);
+  EXPECT_TRUE(computeMetrics(c).perfectlyBalanced);
+}
+
+TEST(Generators, BalancedNonDivisible) {
+  const auto c = balanced(4, 10);
+  EXPECT_EQ(c.numBalls(), 10);
+  const Metrics mm = computeMetrics(c);
+  EXPECT_EQ(mm.maxLoad, 3);
+  EXPECT_EQ(mm.minLoad, 2);
+  EXPECT_TRUE(mm.perfectlyBalanced);
+}
+
+TEST(Generators, TwoPoint) {
+  const auto c = twoPoint(4, 8);
+  auto loads = c.loads();
+  std::sort(loads.begin(), loads.end());
+  EXPECT_EQ(loads, (std::vector<std::int64_t>{1, 2, 2, 3}));
+}
+
+TEST(Generators, HalfHalf) {
+  const auto c = halfHalf(6, 18, 2);  // avg 3, x 2
+  const Metrics mm = computeMetrics(c);
+  EXPECT_EQ(mm.maxLoad, 5);
+  EXPECT_EQ(mm.minLoad, 1);
+  EXPECT_EQ(c.numBalls(), 18);
+  EXPECT_EQ(c.toMultiset().countAt(5), 3);
+  EXPECT_EQ(c.toMultiset().countAt(1), 3);
+}
+
+TEST(Generators, HalfHalfZeroX) {
+  const auto c = halfHalf(6, 18, 0);
+  EXPECT_TRUE(computeMetrics(c).perfectlyBalanced);
+}
+
+TEST(Generators, PlusMinusOne) {
+  const auto c = plusMinusOne(10, 50, 3);  // avg 5
+  const auto ms = c.toMultiset();
+  EXPECT_EQ(ms.countAt(6), 3);
+  EXPECT_EQ(ms.countAt(4), 3);
+  EXPECT_EQ(ms.countAt(5), 4);
+  EXPECT_EQ(c.numBalls(), 50);
+}
+
+TEST(Generators, PlusMinusOneZero) {
+  const auto c = plusMinusOne(10, 50, 0);
+  EXPECT_TRUE(computeMetrics(c).perfectlyBalanced);
+}
+
+TEST(Generators, UniformRandomConservesMass) {
+  rng::Xoshiro256pp eng(5);
+  const auto c = uniformRandom(16, 1 << 14, eng);
+  EXPECT_EQ(c.numBalls(), 1 << 14);
+  EXPECT_EQ(c.numBins(), 16);
+  // Mean load 1024; all bins should be within a generous window.
+  for (std::int64_t v : c.loads()) EXPECT_NEAR(static_cast<double>(v), 1024.0, 300.0);
+}
+
+TEST(Generators, UniformRandomMarginalMoments) {
+  rng::Xoshiro256pp eng(6);
+  stats::RunningStat rs;
+  for (int rep = 0; rep < 20000; ++rep) {
+    const auto c = uniformRandom(8, 64, eng);
+    rs.add(static_cast<double>(c.load(3)));
+  }
+  EXPECT_NEAR(rs.mean(), 8.0, 0.1);                  // Binomial(64, 1/8)
+  EXPECT_NEAR(rs.variance(), 64.0 * 0.125 * 0.875, 0.2);
+}
+
+TEST(Generators, GreedyDReducesDiscrepancy) {
+  rng::Xoshiro256pp eng1(7);
+  rng::Xoshiro256pp eng2(7);
+  const auto one = uniformRandom(64, 64 * 64, eng1);
+  const auto two = greedyD(64, 64 * 64, 2, eng2);
+  // Power of two choices: discrepancy should typically be much smaller.
+  EXPECT_LT(computeMetrics(two).discrepancy, computeMetrics(one).discrepancy + 1.0);
+  EXPECT_EQ(two.numBalls(), 64 * 64);
+}
+
+TEST(Generators, GreedyDOneEqualsOneChoiceMoments) {
+  rng::Xoshiro256pp eng(8);
+  const auto c = greedyD(8, 800, 1, eng);
+  EXPECT_EQ(c.numBalls(), 800);
+}
+
+TEST(Generators, PowerLawMassAndMonotonicity) {
+  const auto c = powerLaw(10, 1000, 1.5);
+  EXPECT_EQ(c.numBalls(), 1000);
+  // Bin 0 gets the largest share.
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_GE(c.load(0), c.load(i) - 1);
+}
+
+TEST(Generators, PowerLawAlphaZeroIsFlat) {
+  const auto c = powerLaw(10, 1000, 0.0);
+  const Metrics mm = computeMetrics(c);
+  EXPECT_LE(mm.maxLoad - mm.minLoad, 1);
+}
+
+TEST(Generators, StaircaseConservesMass) {
+  const auto c = staircase(16, 4096);
+  EXPECT_EQ(c.numBalls(), 4096);
+  EXPECT_EQ(c.numBins(), 16);
+}
+
+TEST(Generators, StaircaseManyLevels) {
+  const auto c = staircase(64, 1 << 16);
+  EXPECT_GE(c.toMultiset().numLevels(), 16u);
+}
+
+// Every generator must conserve mass and produce non-negative loads across
+// a size sweep (the contract the engines rely on).
+struct GenCase {
+  const char* name;
+  std::function<Configuration(std::int64_t n, std::int64_t m)> make;
+};
+
+class GeneratorContract : public ::testing::TestWithParam<std::tuple<int, int>> {
+ public:
+  static std::vector<GenCase> cases() {
+    return {
+        {"allInOne", [](std::int64_t n, std::int64_t m) { return allInOne(n, m); }},
+        {"balanced", [](std::int64_t n, std::int64_t m) { return balanced(n, m); }},
+        {"staircase", [](std::int64_t n, std::int64_t m) { return staircase(n, m); }},
+        {"powerLaw15", [](std::int64_t n, std::int64_t m) { return powerLaw(n, m, 1.5); }},
+        {"uniformRandom",
+         [](std::int64_t n, std::int64_t m) {
+           rng::Xoshiro256pp eng(static_cast<std::uint64_t>(n * 31 + m));
+           return uniformRandom(n, m, eng);
+         }},
+        {"greedy3",
+         [](std::int64_t n, std::int64_t m) {
+           rng::Xoshiro256pp eng(static_cast<std::uint64_t>(n * 37 + m));
+           return greedyD(n, m, 3, eng);
+         }},
+    };
+  }
+  static std::vector<std::pair<std::int64_t, std::int64_t>> sizes() {
+    return {{1, 0}, {1, 17}, {2, 1}, {7, 7}, {16, 256}, {33, 1000}, {100, 5}};
+  }
+};
+
+TEST_P(GeneratorContract, MassAndNonNegativity) {
+  const auto [genIdx, sizeIdx] = GetParam();
+  const GenCase gen = cases()[static_cast<std::size_t>(genIdx)];
+  const auto [n, m] = sizes()[static_cast<std::size_t>(sizeIdx)];
+  const Configuration c = gen.make(n, m);
+  EXPECT_EQ(c.numBins(), n) << gen.name;
+  EXPECT_EQ(c.numBalls(), m) << gen.name;
+  for (std::int64_t v : c.loads()) EXPECT_GE(v, 0) << gen.name;
+}
+
+// Note: no structured bindings inside the macro argument -- the comma in
+// `auto [g, s]` would split the preprocessor arguments.
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorContract,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 7)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& paramInfo) {
+      const int g = std::get<0>(paramInfo.param);
+      const int s = std::get<1>(paramInfo.param);
+      const auto sz = GeneratorContract::sizes()[static_cast<std::size_t>(s)];
+      return std::string(GeneratorContract::cases()[static_cast<std::size_t>(g)].name) + "_n" +
+             std::to_string(sz.first) + "_m" + std::to_string(sz.second);
+    });
+
+}  // namespace
+}  // namespace rlslb::config

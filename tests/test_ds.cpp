@@ -1,0 +1,247 @@
+// Tests for src/ds: Fenwick tree (including randomized differential tests
+// against a brute-force reference) and the LoadMultiset lumped state.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ds/fenwick.hpp"
+#include "ds/load_multiset.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace rlslb::ds {
+namespace {
+
+TEST(Fenwick, EmptyInitZeroTotal) {
+  Fenwick<std::int64_t> f(8);
+  EXPECT_EQ(f.total(), 0);
+  EXPECT_EQ(f.prefixSum(8), 0);
+}
+
+TEST(Fenwick, BuildFromVector) {
+  Fenwick<std::int64_t> f(std::vector<std::int64_t>{3, 1, 4, 1, 5});
+  EXPECT_EQ(f.total(), 14);
+  EXPECT_EQ(f.prefixSum(0), 0);
+  EXPECT_EQ(f.prefixSum(1), 3);
+  EXPECT_EQ(f.prefixSum(3), 8);
+  EXPECT_EQ(f.prefixSum(5), 14);
+}
+
+TEST(Fenwick, PointGet) {
+  const std::vector<std::int64_t> vals = {3, 1, 4, 1, 5, 9, 2, 6};
+  Fenwick<std::int64_t> f(vals);
+  for (std::size_t i = 0; i < vals.size(); ++i) EXPECT_EQ(f.get(i), vals[i]);
+}
+
+TEST(Fenwick, AddUpdatesSums) {
+  Fenwick<std::int64_t> f(4);
+  f.add(0, 2);
+  f.add(3, 5);
+  EXPECT_EQ(f.total(), 7);
+  EXPECT_EQ(f.prefixSum(3), 2);
+  f.add(0, -2);
+  EXPECT_EQ(f.prefixSum(3), 0);
+}
+
+TEST(Fenwick, UpperBoundSelectsByWeight) {
+  Fenwick<std::int64_t> f(std::vector<std::int64_t>{2, 0, 3});
+  // Cumulative: [2, 2, 5]. Tickets 0,1 -> idx 0; 2,3,4 -> idx 2.
+  EXPECT_EQ(f.upperBound(0), 0u);
+  EXPECT_EQ(f.upperBound(1), 0u);
+  EXPECT_EQ(f.upperBound(2), 2u);
+  EXPECT_EQ(f.upperBound(4), 2u);
+}
+
+TEST(Fenwick, UpperBoundSkipsZeroWeightTail) {
+  Fenwick<std::int64_t> f(std::vector<std::int64_t>{0, 7, 0, 0});
+  for (std::int64_t t = 0; t < 7; ++t) EXPECT_EQ(f.upperBound(t), 1u);
+}
+
+TEST(Fenwick, DifferentialRandomOps) {
+  rng::Xoshiro256pp eng(99);
+  constexpr std::size_t n = 37;
+  std::vector<std::int64_t> ref(n, 0);
+  Fenwick<std::int64_t> f(n);
+  for (int op = 0; op < 5000; ++op) {
+    const auto i = static_cast<std::size_t>(rng::uniformIndex(eng, n));
+    const std::int64_t delta = rng::uniformInt(eng, 0, 5) - ref[i] % 3;
+    if (ref[i] + delta >= 0) {
+      ref[i] += delta;
+      f.add(i, delta);
+    }
+    const auto q = static_cast<std::size_t>(rng::uniformIndex(eng, n + 1));
+    EXPECT_EQ(f.prefixSum(q), std::accumulate(ref.begin(), ref.begin() + static_cast<std::ptrdiff_t>(q), std::int64_t{0}));
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(f.get(i), ref[i]);
+}
+
+TEST(Fenwick, DifferentialUpperBound) {
+  rng::Xoshiro256pp eng(100);
+  constexpr std::size_t n = 21;
+  std::vector<std::int64_t> ref(n);
+  for (auto& v : ref) v = rng::uniformInt(eng, 0, 4);
+  Fenwick<std::int64_t> f(ref);
+  const std::int64_t total = f.total();
+  ASSERT_GT(total, 0);
+  for (std::int64_t t = 0; t < total; ++t) {
+    // Brute-force: first index whose cumulative exceeds t.
+    std::int64_t acc = 0;
+    std::size_t expect = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += ref[i];
+      if (acc > t) {
+        expect = i;
+        break;
+      }
+    }
+    EXPECT_EQ(f.upperBound(t), expect) << "ticket " << t;
+  }
+}
+
+TEST(Fenwick, WeightedSamplingFrequencies) {
+  rng::Xoshiro256pp eng(101);
+  Fenwick<std::int64_t> f(std::vector<std::int64_t>{1, 2, 3, 4});
+  std::vector<int> hits(4, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto ticket = static_cast<std::int64_t>(rng::uniformIndex(eng, 10));
+    ++hits[f.upperBound(ticket)];
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(kDraws), (i + 1) / 10.0, 0.01);
+  }
+}
+
+TEST(Fenwick, DoubleWeights) {
+  Fenwick<double> f(std::vector<double>{0.5, 1.5, 2.0});
+  EXPECT_DOUBLE_EQ(f.total(), 4.0);
+  EXPECT_EQ(f.upperBound(0.4), 0u);
+  EXPECT_EQ(f.upperBound(0.6), 1u);
+  EXPECT_EQ(f.upperBound(3.9), 2u);
+}
+
+TEST(Fenwick, SingleElement) {
+  Fenwick<std::int64_t> f(std::vector<std::int64_t>{5});
+  EXPECT_EQ(f.upperBound(0), 0u);
+  EXPECT_EQ(f.upperBound(4), 0u);
+  EXPECT_EQ(f.get(0), 5);
+}
+
+// ---------------------------------------------------------------- multiset
+
+TEST(LoadMultiset, FromLoadsGroupsLevels) {
+  const auto ms = LoadMultiset::fromLoads({3, 1, 3, 0, 1, 1});
+  EXPECT_EQ(ms.numBins(), 6);
+  EXPECT_EQ(ms.numBalls(), 9);
+  EXPECT_EQ(ms.numLevels(), 3u);
+  EXPECT_EQ(ms.countAt(0), 1);
+  EXPECT_EQ(ms.countAt(1), 3);
+  EXPECT_EQ(ms.countAt(3), 2);
+  EXPECT_EQ(ms.countAt(2), 0);
+}
+
+TEST(LoadMultiset, MinMax) {
+  const auto ms = LoadMultiset::fromLoads({5, 2, 9});
+  EXPECT_EQ(ms.minLoad(), 2);
+  EXPECT_EQ(ms.maxLoad(), 9);
+}
+
+TEST(LoadMultiset, CountAtMost) {
+  const auto ms = LoadMultiset::fromLoads({0, 0, 2, 5, 5, 7});
+  EXPECT_EQ(ms.countAtMost(-1), 0);
+  EXPECT_EQ(ms.countAtMost(0), 2);
+  EXPECT_EQ(ms.countAtMost(2), 3);
+  EXPECT_EQ(ms.countAtMost(4), 3);
+  EXPECT_EQ(ms.countAtMost(5), 5);
+  EXPECT_EQ(ms.countAtMost(100), 6);
+}
+
+TEST(LoadMultiset, FromLevels) {
+  const auto ms = LoadMultiset::fromLevels({{7, 2}, {1, 3}});
+  EXPECT_EQ(ms.numBins(), 5);
+  EXPECT_EQ(ms.numBalls(), 17);
+  EXPECT_EQ(ms.level(0).load, 1);
+  EXPECT_EQ(ms.level(1).load, 7);
+}
+
+TEST(LoadMultiset, ShiftBinMergesAndSplits) {
+  auto ms = LoadMultiset::fromLoads({2, 2, 4});
+  ms.shiftBin(4, -1);  // one bin 4 -> 3
+  EXPECT_EQ(ms.countAt(4), 0);
+  EXPECT_EQ(ms.countAt(3), 1);
+  EXPECT_EQ(ms.numBalls(), 7);
+  ms.shiftBin(2, +1);  // one bin 2 -> 3, merging with the existing level
+  EXPECT_EQ(ms.countAt(3), 2);
+  EXPECT_EQ(ms.countAt(2), 1);
+  EXPECT_EQ(ms.numBalls(), 8);
+  EXPECT_TRUE(ms.validate());
+}
+
+TEST(LoadMultiset, ApplyBallMoveConservesBalls) {
+  auto ms = LoadMultiset::fromLoads({5, 1, 3});
+  ms.applyBallMove(5, 1);
+  EXPECT_EQ(ms.numBalls(), 9);
+  EXPECT_EQ(ms.numBins(), 3);
+  EXPECT_EQ(ms.countAt(4), 1);
+  EXPECT_EQ(ms.countAt(2), 1);
+  EXPECT_EQ(ms.countAt(3), 1);
+  EXPECT_TRUE(ms.validate());
+}
+
+TEST(LoadMultiset, ApplyBallMoveGapTwoCreatesMiddleLevel) {
+  auto ms = LoadMultiset::fromLoads({3, 1});
+  ms.applyBallMove(3, 1);  // -> both at 2
+  EXPECT_EQ(ms.numLevels(), 1u);
+  EXPECT_EQ(ms.countAt(2), 2);
+  EXPECT_TRUE(ms.validate());
+}
+
+TEST(LoadMultiset, ToSortedLoadsRoundTrip) {
+  const std::vector<std::int64_t> loads = {4, 0, 2, 2, 7, 0};
+  auto sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(LoadMultiset::fromLoads(loads).toSortedLoads(), sorted);
+}
+
+TEST(LoadMultiset, RandomDifferentialAgainstVector) {
+  rng::Xoshiro256pp eng(102);
+  std::vector<std::int64_t> loads(12);
+  for (auto& v : loads) v = rng::uniformInt(eng, 0, 20);
+  auto ms = LoadMultiset::fromLoads(loads);
+
+  for (int op = 0; op < 4000; ++op) {
+    // Pick a random multiset-changing move from the reference vector.
+    std::vector<std::pair<std::size_t, std::size_t>> eligible;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      for (std::size_t j = 0; j < loads.size(); ++j) {
+        if (loads[i] >= loads[j] + 2) eligible.emplace_back(i, j);
+      }
+    }
+    if (eligible.empty()) break;
+    const auto [src, dst] =
+        eligible[static_cast<std::size_t>(rng::uniformIndex(eng, eligible.size()))];
+    ms.applyBallMove(loads[src], loads[dst]);
+    --loads[src];
+    ++loads[dst];
+
+    auto sorted = loads;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(ms.toSortedLoads(), sorted) << "after op " << op;
+    ASSERT_TRUE(ms.validate());
+  }
+}
+
+TEST(LoadMultiset, ValidateCatchesCorruption) {
+  auto ms = LoadMultiset::fromLoads({1, 2, 3});
+  EXPECT_TRUE(ms.validate());
+}
+
+TEST(LoadMultiset, AllEqualSingleLevel) {
+  const auto ms = LoadMultiset::fromLoads(std::vector<std::int64_t>(100, 7));
+  EXPECT_EQ(ms.numLevels(), 1u);
+  EXPECT_EQ(ms.countAt(7), 100);
+}
+
+}  // namespace
+}  // namespace rlslb::ds

@@ -1,0 +1,151 @@
+// Tests for src/dynamic: the open-system RLS of [11]'s setting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "config/generators.hpp"
+#include "dynamic/open_system.hpp"
+#include "rng/splitmix64.hpp"
+#include "stats/running_stat.hpp"
+
+namespace rlslb::dynamic {
+namespace {
+
+TEST(OpenSystem, StartsEmptyByDefault) {
+  OpenSystem sys(16, {}, 1);
+  EXPECT_EQ(sys.numBalls(), 0);
+  EXPECT_EQ(sys.numBins(), 16);
+  EXPECT_DOUBLE_EQ(sys.time(), 0.0);
+}
+
+TEST(OpenSystem, AcceptsInitialConfiguration) {
+  const auto init = config::balanced(8, 64);
+  OpenSystem sys(8, {}, 2, &init);
+  EXPECT_EQ(sys.numBalls(), 64);
+}
+
+TEST(OpenSystem, BallCountFollowsArrivalsMinusDepartures) {
+  OpenSystemOptions opts;
+  opts.arrivalRatePerBin = 1.0;
+  opts.departureRate = 0.5;
+  OpenSystem sys(8, opts, 3);
+  sys.runUntilTime(50.0);
+  const auto& c = sys.counters();
+  EXPECT_EQ(sys.numBalls(), c.arrivals - c.departures);
+  std::int64_t total = 0;
+  for (auto v : sys.loads()) total += v;
+  EXPECT_EQ(total, sys.numBalls());
+}
+
+TEST(OpenSystem, EmptyNoArrivalsIsAbsorbing) {
+  OpenSystemOptions opts;
+  opts.arrivalRatePerBin = 0.0;
+  OpenSystem sys(4, opts, 4);
+  EXPECT_FALSE(sys.step());
+}
+
+TEST(OpenSystem, PureDeathDrainsToEmpty) {
+  OpenSystemOptions opts;
+  opts.arrivalRatePerBin = 0.0;
+  opts.departureRate = 1.0;
+  const auto init = config::balanced(4, 40);
+  OpenSystem sys(4, opts, 5, &init);
+  sys.runUntilTime(200.0);
+  EXPECT_EQ(sys.numBalls(), 0);
+  EXPECT_EQ(sys.counters().departures, 40);
+}
+
+TEST(OpenSystem, StationaryMeanMatchesMMInfinity) {
+  // Without migrations affecting counts, the total ball count is M/M/inf
+  // with mean lambda*n/mu. Time-average after warmup should match.
+  OpenSystemOptions opts;
+  opts.arrivalRatePerBin = 2.0;
+  opts.departureRate = 1.0;
+  OpenSystem sys(16, opts, 6);
+  sys.runUntilTime(50.0);  // warmup
+  stats::RunningStat rs;
+  for (int i = 0; i < 4000; ++i) {
+    sys.runUntilTime(sys.time() + 0.25);
+    rs.add(static_cast<double>(sys.numBalls()));
+  }
+  EXPECT_NEAR(rs.mean(), 32.0, 2.0);  // lambda*n/mu = 2*16/1
+}
+
+TEST(OpenSystem, MigrationKeepsSpreadSmall) {
+  // With RLS migrations on, the stationary spread is far below the
+  // arrivals-only spread at the same offered load.
+  OpenSystemOptions withRls;
+  withRls.arrivalRatePerBin = 4.0;
+  withRls.departureRate = 0.05;  // mean load ~ 80 per bin
+  OpenSystem sys(16, withRls, 7);
+  sys.runUntilTime(150.0);  // warm up to stationarity-ish
+
+  stats::RunningStat spread;
+  for (int i = 0; i < 200; ++i) {
+    sys.runUntilTime(sys.time() + 0.5);
+    spread.add(static_cast<double>(sys.spread()));
+  }
+  // Poisson-only fluctuation at mean 80 would be ~ 4*sqrt(80) ~ 36 spread;
+  // the migration clock is 20x the departure rate here, so RLS holds the
+  // spread to a small band.
+  EXPECT_LT(spread.mean(), 12.0);
+  EXPECT_GT(sys.counters().migrations, 0);
+}
+
+TEST(OpenSystem, TwoChoiceArrivalsTightenSpread) {
+  OpenSystemOptions oneChoice;
+  oneChoice.arrivalRatePerBin = 4.0;
+  oneChoice.departureRate = 1.0;
+  oneChoice.arrivalChoices = 1;
+  OpenSystemOptions twoChoice = oneChoice;
+  twoChoice.arrivalChoices = 2;
+
+  stats::RunningStat s1;
+  stats::RunningStat s2;
+  for (int rep = 0; rep < 8; ++rep) {
+    OpenSystem a(32, oneChoice, rng::streamSeed(8, rep));
+    a.runUntilTime(60.0);
+    s1.add(static_cast<double>(a.spread()));
+    OpenSystem b(32, twoChoice, rng::streamSeed(9, rep));
+    b.runUntilTime(60.0);
+    s2.add(static_cast<double>(b.spread()));
+  }
+  EXPECT_LE(s2.mean(), s1.mean() + 0.5);
+}
+
+TEST(OpenSystem, DeterministicForSeed) {
+  OpenSystemOptions opts;
+  opts.arrivalRatePerBin = 1.0;
+  OpenSystem a(8, opts, 10);
+  OpenSystem b(8, opts, 10);
+  a.runUntilTime(20.0);
+  b.runUntilTime(20.0);
+  EXPECT_EQ(a.loads(), b.loads());
+  EXPECT_DOUBLE_EQ(a.time(), b.time());
+}
+
+TEST(OpenSystem, CountersConsistent) {
+  OpenSystemOptions opts;
+  opts.arrivalRatePerBin = 1.0;
+  opts.departureRate = 0.8;
+  OpenSystem sys(8, opts, 11);
+  const std::int64_t events = sys.runUntilTime(30.0);
+  const auto& c = sys.counters();
+  EXPECT_EQ(events, c.arrivals + c.departures + c.migrationAttempts);
+  EXPECT_LE(c.migrations, c.migrationAttempts);
+}
+
+TEST(OpenSystem, GapTwoStillBalances) {
+  OpenSystemOptions opts;
+  opts.arrivalRatePerBin = 2.0;
+  opts.departureRate = 0.1;
+  opts.gap = 2;
+  OpenSystem sys(8, opts, 12);
+  sys.runUntilTime(100.0);
+  EXPECT_GT(sys.counters().migrations, 0);
+  EXPECT_LT(sys.spread(), 30);
+}
+
+}  // namespace
+}  // namespace rlslb::dynamic

@@ -1,0 +1,209 @@
+// Tests for src/exact: the absorbing-chain solver is itself validated
+// against hand-computable cases and closed forms, so it can serve as ground
+// truth for the simulation engines (test_engines.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generators.hpp"
+#include "exact/rls_chain.hpp"
+
+namespace rlslb::exact {
+namespace {
+
+TEST(RlsChain, EnumeratesPartitions) {
+  // Partitions of 4 into at most 2 parts: (4), (3,1), (2,2).
+  RlsChain chain(2, 4);
+  EXPECT_EQ(chain.numStates(), 3u);
+  // Of 6 into at most 3: (6),(5,1),(4,2),(3,3),(4,1,1),(3,2,1),(2,2,2) = 7.
+  RlsChain chain2(3, 6);
+  EXPECT_EQ(chain2.numStates(), 7u);
+}
+
+TEST(RlsChain, AbsorbingStatesAreSpreadAtMostOne) {
+  RlsChain chain(3, 7);
+  const auto& times = chain.expectedBalanceTimes();
+  for (std::size_t s = 0; s < chain.numStates(); ++s) {
+    const auto& loads = chain.state(s);
+    const std::int64_t spread = loads.front() - loads.back();
+    if (spread <= 1) {
+      EXPECT_DOUBLE_EQ(times[s], 0.0);
+    } else {
+      EXPECT_GT(times[s], 0.0);
+    }
+  }
+}
+
+TEST(RlsChain, TwoBinsTwoBallsHandComputed) {
+  // State (2,0): one transition at rate 2 * (1/2) = 1 to (1,1). E[T] = 1.
+  RlsChain chain(2, 2);
+  const auto id = chain.stateId({2, 0});
+  EXPECT_DOUBLE_EQ(chain.expectedBalanceTimes()[id], 1.0);
+  // T ~ Exp(1): E[T^2] = 2.
+  EXPECT_NEAR(chain.expectedSquaredTimes()[id], 2.0, 1e-9);
+}
+
+TEST(RlsChain, TwoBinsFourBallsHandComputed) {
+  // (4,0): rate 4*(1/2) = 2 -> (3,1); (3,1): rate 3*(1/2) = 1.5 -> (2,2).
+  // E[T] = 1/2 + 2/3 = 7/6.
+  RlsChain chain(2, 4);
+  EXPECT_NEAR(chain.expectedBalanceTimes()[chain.stateId({4, 0})], 7.0 / 6.0, 1e-12);
+  EXPECT_NEAR(chain.expectedBalanceTimes()[chain.stateId({3, 1})], 2.0 / 3.0, 1e-12);
+}
+
+TEST(RlsChain, TwoPointClosedForm) {
+  // Two-point configuration: E[T] = n / (avg + 1) exactly, because every
+  // non-terminal permitted move preserves the load multiset (DESIGN.md).
+  for (std::int64_t n : {2, 3, 4, 5}) {
+    for (std::int64_t avg : {1, 2, 3}) {
+      const std::int64_t m = n * avg;
+      if (m > 16) continue;  // keep the state space tiny
+      RlsChain chain(n, m);
+      const auto cfg = config::twoPoint(n, m);
+      EXPECT_NEAR(chain.expectedTimeFrom(cfg),
+                  static_cast<double>(n) / static_cast<double>(avg + 1), 1e-9)
+          << "n=" << n << " avg=" << avg;
+    }
+  }
+}
+
+TEST(RlsChain, AllInOneIsWorstCase) {
+  // From the maximally concentrated state the expected time dominates every
+  // other state's (it majorizes everything; Lemma 2 intuition).
+  RlsChain chain(3, 9);
+  const auto& times = chain.expectedBalanceTimes();
+  const double worst = times[chain.stateId({9, 0, 0})];
+  for (std::size_t s = 0; s < chain.numStates(); ++s) EXPECT_LE(times[s], worst + 1e-12);
+}
+
+TEST(RlsChain, MoreBinsSlowerEndgame) {
+  // With avg fixed, the two-point E[T] = n/(avg+1) grows linearly in n.
+  RlsChain c4(4, 8);
+  RlsChain c6(6, 12);
+  const double t4 = c4.expectedTimeFrom(config::twoPoint(4, 8));
+  const double t6 = c6.expectedTimeFrom(config::twoPoint(6, 12));
+  EXPECT_NEAR(t6 / t4, 6.0 / 4.0, 1e-9);
+}
+
+TEST(RlsChain, VarianceNonNegative) {
+  RlsChain chain(3, 8);
+  const auto& et = chain.expectedBalanceTimes();
+  const auto& et2 = chain.expectedSquaredTimes();
+  for (std::size_t s = 0; s < chain.numStates(); ++s) {
+    EXPECT_GE(et2[s] - et[s] * et[s], -1e-9) << "state " << s;
+  }
+}
+
+TEST(RlsChain, StateIdSortsAndPads) {
+  RlsChain chain(3, 5);
+  EXPECT_EQ(chain.stateId({1, 4, 0}), chain.stateId({4, 1}));
+  EXPECT_EQ(chain.stateId({0, 5, 0}), chain.stateId({5}));
+}
+
+TEST(RlsChain, ZeroBalls) {
+  RlsChain chain(3, 0);
+  EXPECT_EQ(chain.numStates(), 1u);
+  EXPECT_DOUBLE_EQ(chain.expectedBalanceTimes()[0], 0.0);
+}
+
+TEST(RlsChain, SingleBinAlwaysBalanced) {
+  RlsChain chain(1, 5);
+  EXPECT_EQ(chain.numStates(), 1u);
+  EXPECT_DOUBLE_EQ(chain.expectedBalanceTimes()[0], 0.0);
+}
+
+TEST(RlsChain, ExpectedTimeFromConfiguration) {
+  RlsChain chain(3, 6);
+  const config::Configuration c({6, 0, 0});
+  EXPECT_GT(chain.expectedTimeFrom(c), 0.0);
+  const config::Configuration bal({2, 2, 2});
+  EXPECT_DOUBLE_EQ(chain.expectedTimeFrom(bal), 0.0);
+}
+
+TEST(RlsChain, AbsorptionCdfMatchesExponentialClosedForm) {
+  // Two-point configuration: T ~ Exp((avg+1)/n) exactly, so the
+  // uniformization CDF must equal 1 - exp(-rate * t).
+  RlsChain chain(4, 8);  // avg = 2, rate = 3/4
+  const auto id = chain.stateId({3, 2, 2, 1});
+  const double rate = 3.0 / 4.0;
+  for (double t : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(chain.absorptionCdf(id, t), 1.0 - std::exp(-rate * t), 1e-8) << t;
+  }
+}
+
+TEST(RlsChain, AbsorptionCdfProperties) {
+  RlsChain chain(3, 9);
+  const auto id = chain.stateId({9, 0, 0});
+  EXPECT_DOUBLE_EQ(chain.absorptionCdf(id, 0.0), 0.0);
+  double prev = 0.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double c = chain.absorptionCdf(id, t);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_GT(chain.absorptionCdf(id, 60.0), 0.999);
+}
+
+TEST(RlsChain, AbsorptionCdfFromAbsorbingStateIsOne) {
+  RlsChain chain(3, 6);
+  const auto id = chain.stateId({2, 2, 2});
+  EXPECT_DOUBLE_EQ(chain.absorptionCdf(id, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(chain.absorptionCdf(id, 3.0), 1.0);
+}
+
+TEST(RlsChain, AbsorptionCdfMeanMatchesExpectedTime) {
+  // E[T] = integral of (1 - CDF); trapezoid-integrate and compare.
+  RlsChain chain(3, 9);
+  const auto id = chain.stateId({6, 3, 0});
+  const double expected = chain.expectedBalanceTimes()[id];
+  double integral = 0.0;
+  const double dt = 0.05;
+  for (double t = 0.0; t < 80.0; t += dt) {
+    integral +=
+        dt * 0.5 * ((1.0 - chain.absorptionCdf(id, t)) + (1.0 - chain.absorptionCdf(id, t + dt)));
+  }
+  EXPECT_NEAR(integral, expected, 0.01 * expected);
+}
+
+TEST(RlsChain, AbsorbingStateCountMatchesSpreadCriterion) {
+  // Absorbing states are exactly the partitions with spread <= 1: for
+  // n = 4, m = 10 that is only (3,3,2,2).
+  RlsChain chain(4, 10);
+  EXPECT_EQ(chain.numAbsorbing(), 1u);
+  // For n = 4, m = 8: only (2,2,2,2).
+  RlsChain chain2(4, 8);
+  EXPECT_EQ(chain2.numAbsorbing(), 1u);
+  // For n = 4, m = 3: (1,1,1,0) is the only spread-<=1 partition.
+  RlsChain chain3(4, 3);
+  EXPECT_EQ(chain3.numAbsorbing(), 1u);
+}
+
+TEST(RlsChain, ExpectedTimesDecreaseAlongGreedyPath) {
+  // Moving a ball from the fullest to the emptiest bin cannot increase the
+  // exact expected remaining time (a majorization sanity check).
+  RlsChain chain(4, 12);
+  const auto& times = chain.expectedBalanceTimes();
+  std::vector<std::int64_t> loads = {12, 0, 0, 0};
+  double last = times[chain.stateId(loads)];
+  while (loads.front() - loads.back() > 1) {
+    --loads.front();
+    ++loads.back();
+    std::sort(loads.begin(), loads.end(), std::greater<>());
+    const double now = times[chain.stateId(loads)];
+    EXPECT_LE(now, last + 1e-12);
+    last = now;
+  }
+}
+
+TEST(RlsChain, MediumSystemSolves) {
+  // p(16, <=4 parts) = 64 states; exercises the dense solver path.
+  RlsChain chain(4, 16);
+  EXPECT_GT(chain.numStates(), 50u);
+  const double t = chain.expectedTimeFrom(config::allInOne(4, 16));
+  EXPECT_GT(t, 1.0);
+  EXPECT_LT(t, 50.0);
+}
+
+}  // namespace
+}  // namespace rlslb::exact

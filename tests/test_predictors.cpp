@@ -1,0 +1,93 @@
+// Tests for core/predictors: the paper's closed forms as code. These are
+// the single source of truth used by benches; verify them against
+// independent computations and the exact chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/generators.hpp"
+#include "core/predictors.hpp"
+#include "exact/rls_chain.hpp"
+
+namespace rlslb::core {
+namespace {
+
+TEST(Predictors, HarmonicExactSmall) {
+  EXPECT_DOUBLE_EQ(harmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonicNumber(2), 1.5);
+  EXPECT_NEAR(harmonicNumber(10), 2.9289682539682538, 1e-14);
+}
+
+TEST(Predictors, HarmonicAsymptoticContinuity) {
+  // The asymptotic branch (k >= 1000) must agree with direct summation.
+  double direct = 0.0;
+  for (int i = 1; i <= 5000; ++i) direct += 1.0 / i;
+  EXPECT_NEAR(harmonicNumber(5000), direct, 1e-10);
+}
+
+TEST(Predictors, HarmonicMonotone) {
+  double prev = 0.0;
+  for (std::int64_t k : {1, 10, 100, 999, 1000, 1001, 10000}) {
+    const double h = harmonicNumber(k);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Predictors, Theorem1ScaleComposition) {
+  EXPECT_NEAR(theorem1Scale(1024, 1024), std::log(1024.0) + 1024.0, 1e-12);
+  EXPECT_NEAR(theorem1Scale(64, 64 * 64), std::log(64.0) + 1.0, 1e-12);
+}
+
+TEST(Predictors, WhpBudgetDominatesScaleForLargeN) {
+  // ln(n)*(1 + n^2/m) >= ln n + n^2/m whenever ln n >= 1.
+  for (std::int64_t n : {8, 64, 1024}) {
+    for (std::int64_t ratio : {1, 8, 64}) {
+      EXPECT_GE(whpBudget(n, n * ratio), theorem1Scale(n, n * ratio) - 1e-9);
+    }
+  }
+}
+
+TEST(Predictors, LowerBoundAllInOneIsLogarithmic) {
+  // H_m - H_avg ~ ln(m/avg) = ln(n).
+  const double v = lowerBoundAllInOne(1024, 8 * 1024);
+  EXPECT_NEAR(v, std::log(1024.0), 0.1);
+}
+
+TEST(Predictors, TwoPointMatchesExactChain) {
+  for (std::int64_t n : {3, 4, 5}) {
+    for (std::int64_t avg : {2, 3}) {
+      const std::int64_t m = n * avg;
+      if (m > 16) continue;
+      exact::RlsChain chain(n, m);
+      EXPECT_NEAR(twoPointExactTime(n, m), chain.expectedTimeFrom(config::twoPoint(n, m)), 1e-9);
+    }
+  }
+}
+
+TEST(Predictors, Lemma8BoundFormula) {
+  // sum_{r=2..m} n/(r(r-1)) telescopes to n*(1 - 1/m).
+  const std::int64_t n = 100;
+  const std::int64_t m = 60;
+  double direct = 0.0;
+  for (std::int64_t r = 2; r <= m; ++r) {
+    direct += static_cast<double>(n) / (static_cast<double>(r) * static_cast<double>(r - 1));
+  }
+  EXPECT_NEAR(lemma8Bound(n, m), direct, 1e-9);
+}
+
+TEST(Predictors, Lemma13TargetAndTime) {
+  EXPECT_NEAR(lemma13Target(1024, 64), 2.0 * std::sqrt(64.0 * std::log(1024.0)), 1e-12);
+  EXPECT_NEAR(lemma13StepTime(256, 128), std::log(384.0 / 128.0), 1e-12);
+  EXPECT_DOUBLE_EQ(lemma13StepTime(256, 0), 0.0);
+}
+
+TEST(Predictors, EndgameScale) {
+  EXPECT_DOUBLE_EQ(endgameScale(1024, 8 * 1024), 128.0);
+  // n/avg == n^2/m.
+  EXPECT_DOUBLE_EQ(endgameScale(100, 400), 100.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace rlslb::core

@@ -1,0 +1,429 @@
+// Tests for src/rng: generator determinism and exactness of the
+// distribution samplers (moment checks and chi-square goodness of fit).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/pcg64.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "stats/running_stat.hpp"
+#include "stats/tests.hpp"
+
+namespace rlslb::rng {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 from the public-domain reference code.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, MixIsStateless) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_NE(mix64(12345), mix64(12346));
+}
+
+TEST(StreamSeed, DistinctAcrossReps) {
+  std::map<std::uint64_t, int> seen;
+  for (std::uint64_t rep = 0; rep < 10000; ++rep) {
+    ++seen[streamSeed(42, rep)];
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(StreamSeed, DistinctAcrossBases) {
+  EXPECT_NE(streamSeed(1, 0), streamSeed(2, 0));
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, JumpChangesStream) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, ReseedResets) {
+  Xoshiro256pp a(7);
+  const std::uint64_t first = a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Pcg64, DeterministicForSeed) {
+  Pcg64 a(123, 5);
+  Pcg64 b(123, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg64, StreamsDiffer) {
+  Pcg64 a(123, 5);
+  Pcg64 b(123, 6);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LE(equal, 1);
+}
+
+TEST(UniformDouble, RangeAndMean) {
+  Xoshiro256pp eng(11);
+  stats::RunningStat rs;
+  for (int i = 0; i < 200000; ++i) {
+    const double u = uniformDouble(eng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    rs.add(u);
+  }
+  EXPECT_NEAR(rs.mean(), 0.5, 0.005);
+  EXPECT_NEAR(rs.variance(), 1.0 / 12.0, 0.003);
+}
+
+TEST(UniformDoublePositive, NeverZero) {
+  Xoshiro256pp eng(12);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = uniformDoublePositive(eng);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LE(u, 1.0);
+  }
+}
+
+TEST(UniformIndex, ChiSquareUniform) {
+  Xoshiro256pp eng(13);
+  constexpr int kBuckets = 17;
+  constexpr int kDraws = 170000;
+  std::vector<std::int64_t> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[uniformIndex(eng, kBuckets)];
+  const std::vector<double> expected(kBuckets, static_cast<double>(kDraws) / kBuckets);
+  const auto res = stats::chiSquareGof(counts, expected);
+  EXPECT_GT(res.pValue, 1e-4);
+}
+
+TEST(UniformIndex, BoundOne) {
+  Xoshiro256pp eng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniformIndex(eng, 1), 0u);
+}
+
+TEST(UniformIndex, NonPowerOfTwoBoundCovered) {
+  Xoshiro256pp eng(15);
+  std::vector<bool> seen(7, false);
+  for (int i = 0; i < 1000; ++i) seen[uniformIndex(eng, 7)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(UniformInt, InclusiveRange) {
+  Xoshiro256pp eng(16);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = uniformInt(eng, -3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+  }
+}
+
+TEST(Exponential, MeanAndVariance) {
+  Xoshiro256pp eng(17);
+  stats::RunningStat rs;
+  const double lambda = 2.5;
+  for (int i = 0; i < 300000; ++i) rs.add(exponential(eng, lambda));
+  EXPECT_NEAR(rs.mean(), 1.0 / lambda, 0.005);
+  EXPECT_NEAR(rs.variance(), 1.0 / (lambda * lambda), 0.01);
+}
+
+TEST(Bernoulli, Frequency) {
+  Xoshiro256pp eng(18);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += bernoulli(eng, 0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(GeometricTrials, MeanMatches) {
+  Xoshiro256pp eng(19);
+  const double p = 0.25;
+  stats::RunningStat rs;
+  for (int i = 0; i < 200000; ++i) {
+    const std::int64_t g = geometricTrials(eng, p);
+    ASSERT_GE(g, 1);
+    rs.add(static_cast<double>(g));
+  }
+  EXPECT_NEAR(rs.mean(), 1.0 / p, 0.05);
+}
+
+TEST(GeometricTrials, PEqualOneIsAlwaysOne) {
+  Xoshiro256pp eng(20);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(geometricTrials(eng, 1.0), 1);
+}
+
+TEST(GeometricTrials, DistributionHead) {
+  Xoshiro256pp eng(21);
+  const double p = 0.5;
+  constexpr int kDraws = 200000;
+  std::vector<std::int64_t> counts(6, 0);  // 1..5 and tail
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t g = geometricTrials(eng, p);
+    ++counts[static_cast<std::size_t>(std::min<std::int64_t>(g, 6) - 1)];
+  }
+  std::vector<double> expected;
+  double tail = 1.0;
+  for (int k = 1; k <= 5; ++k) {
+    const double pk = std::pow(1 - p, k - 1) * p;
+    expected.push_back(pk * kDraws);
+    tail -= pk;
+  }
+  expected.push_back(tail * kDraws);
+  const auto res = stats::chiSquareGof(counts, expected);
+  EXPECT_GT(res.pValue, 1e-4);
+}
+
+TEST(StandardNormal, Moments) {
+  Xoshiro256pp eng(22);
+  stats::RunningStat rs;
+  for (int i = 0; i < 300000; ++i) rs.add(standardNormal(eng));
+  EXPECT_NEAR(rs.mean(), 0.0, 0.01);
+  EXPECT_NEAR(rs.variance(), 1.0, 0.015);
+}
+
+struct BinomialCase {
+  std::int64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MeanAndVariance) {
+  const auto [n, p] = GetParam();
+  Xoshiro256pp eng(23 + static_cast<std::uint64_t>(n));
+  stats::RunningStat rs;
+  const int draws = 150000;
+  for (int i = 0; i < draws; ++i) {
+    const std::int64_t x = binomial(eng, n, p);
+    ASSERT_GE(x, 0);
+    ASSERT_LE(x, n);
+    rs.add(static_cast<double>(x));
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1 - p);
+  EXPECT_NEAR(rs.mean(), mean, 5.0 * std::sqrt(var / draws) + 1e-9);
+  EXPECT_NEAR(rs.variance(), var, 0.05 * var + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLarge, BinomialMoments,
+                         ::testing::Values(BinomialCase{5, 0.3}, BinomialCase{20, 0.5},
+                                           BinomialCase{100, 0.05}, BinomialCase{1000, 0.4},
+                                           BinomialCase{100000, 0.17}, BinomialCase{50, 0.9},
+                                           BinomialCase{1000000, 0.003}));
+
+TEST(Binomial, EdgeCases) {
+  Xoshiro256pp eng(24);
+  EXPECT_EQ(binomial(eng, 0, 0.5), 0);
+  EXPECT_EQ(binomial(eng, 100, 0.0), 0);
+  EXPECT_EQ(binomial(eng, 100, 1.0), 100);
+}
+
+TEST(Binomial, ExactPmfChiSquare) {
+  // Small case where we can compare against the exact pmf.
+  Xoshiro256pp eng(25);
+  const std::int64_t n = 8;
+  const double p = 0.4;
+  constexpr int kDraws = 200000;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(n + 1), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<std::size_t>(binomial(eng, n, p))];
+  std::vector<double> expected;
+  for (std::int64_t k = 0; k <= n; ++k) {
+    double logPmf = std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0) +
+                    k * std::log(p) + (n - k) * std::log1p(-p);
+    expected.push_back(std::exp(logPmf) * kDraws);
+  }
+  const auto res = stats::chiSquareGof(counts, expected);
+  EXPECT_GT(res.pValue, 1e-4);
+}
+
+TEST(Binomial, BtrsRegionPmfChiSquare) {
+  // n*p large enough to exercise the BTRS path; bucketized comparison.
+  Xoshiro256pp eng(26);
+  const std::int64_t n = 400;
+  const double p = 0.25;  // np = 100 -> BTRS
+  constexpr int kDraws = 200000;
+  // Buckets of width 5 covering mean +- 4 sd, tails merged.
+  const double mean = n * p;
+  const double sd = std::sqrt(n * p * (1 - p));
+  const std::int64_t lo = static_cast<std::int64_t>(mean - 4 * sd);
+  const std::int64_t hi = static_cast<std::int64_t>(mean + 4 * sd);
+  const std::int64_t width = 5;
+  const std::size_t buckets = static_cast<std::size_t>((hi - lo) / width) + 3;
+  std::vector<std::int64_t> counts(buckets, 0);
+  auto bucketOf = [&](std::int64_t x) -> std::size_t {
+    if (x < lo) return 0;
+    if (x >= hi) return buckets - 1;
+    return static_cast<std::size_t>((x - lo) / width) + 1;
+  };
+  for (int i = 0; i < kDraws; ++i) ++counts[bucketOf(binomial(eng, n, p))];
+  // Exact pmf accumulated into the same buckets.
+  std::vector<double> expected(buckets, 0.0);
+  for (std::int64_t k = 0; k <= n; ++k) {
+    const double logPmf = std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                          std::lgamma(n - k + 1.0) + k * std::log(p) + (n - k) * std::log1p(-p);
+    expected[bucketOf(k)] += std::exp(logPmf) * kDraws;
+  }
+  // Drop empty-expectation buckets (none expected, but be safe).
+  std::vector<std::int64_t> obs2;
+  std::vector<double> exp2;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    if (expected[i] > 1.0) {
+      obs2.push_back(counts[i]);
+      exp2.push_back(expected[i]);
+    }
+  }
+  const auto res = stats::chiSquareGof(obs2, exp2);
+  EXPECT_GT(res.pValue, 1e-4);
+}
+
+TEST(Poisson, SmallMeanMoments) {
+  Xoshiro256pp eng(27);
+  stats::RunningStat rs;
+  for (int i = 0; i < 200000; ++i) rs.add(static_cast<double>(poisson(eng, 3.5)));
+  EXPECT_NEAR(rs.mean(), 3.5, 0.03);
+  EXPECT_NEAR(rs.variance(), 3.5, 0.08);
+}
+
+TEST(Poisson, LargeMeanMoments) {
+  Xoshiro256pp eng(28);
+  stats::RunningStat rs;
+  for (int i = 0; i < 200000; ++i) rs.add(static_cast<double>(poisson(eng, 120.0)));
+  EXPECT_NEAR(rs.mean(), 120.0, 0.3);
+  EXPECT_NEAR(rs.variance(), 120.0, 3.0);
+}
+
+TEST(Poisson, ZeroMean) {
+  Xoshiro256pp eng(29);
+  EXPECT_EQ(poisson(eng, 0.0), 0);
+}
+
+TEST(MultinomialUniform, ConservesTotalAndIsUniform) {
+  Xoshiro256pp eng(30);
+  constexpr std::int64_t balls = 100000;
+  std::vector<std::int64_t> counts(10, 0);
+  multinomialUniform(eng, balls, counts);
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) {
+    EXPECT_GE(c, 0);
+    total += c;
+  }
+  EXPECT_EQ(total, balls);
+  for (std::int64_t c : counts) EXPECT_NEAR(static_cast<double>(c), 10000.0, 500.0);
+}
+
+TEST(MultinomialUniform, MarginalIsBinomial) {
+  // Bin 0's count across repetitions should match Binomial(m, 1/k) moments.
+  Xoshiro256pp eng(31);
+  stats::RunningStat rs;
+  std::vector<std::int64_t> counts(4, 0);
+  for (int rep = 0; rep < 30000; ++rep) {
+    multinomialUniform(eng, 100, counts);
+    rs.add(static_cast<double>(counts[0]));
+  }
+  EXPECT_NEAR(rs.mean(), 25.0, 0.2);
+  EXPECT_NEAR(rs.variance(), 100 * 0.25 * 0.75, 0.6);
+}
+
+TEST(MultinomialUniform, SingleBin) {
+  Xoshiro256pp eng(32);
+  std::vector<std::int64_t> counts(1, 0);
+  multinomialUniform(eng, 77, counts);
+  EXPECT_EQ(counts[0], 77);
+}
+
+TEST(Shuffle, PreservesMultiset) {
+  Xoshiro256pp eng(33);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  shuffle(eng, w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Shuffle, AllPermutationsReachable) {
+  // 3 elements: each of the 6 permutations should appear with ~1/6 freq.
+  Xoshiro256pp eng(34);
+  std::map<std::vector<int>, int> freq;
+  for (int i = 0; i < 60000; ++i) {
+    std::vector<int> v = {0, 1, 2};
+    shuffle(eng, v);
+    ++freq[v];
+  }
+  ASSERT_EQ(freq.size(), 6u);
+  for (const auto& [perm, count] : freq) EXPECT_NEAR(count, 10000, 500);
+}
+
+TEST(EngineConcept, BothEnginesUsableWithDistributions) {
+  Pcg64 p(5);
+  Xoshiro256pp x(5);
+  EXPECT_GE(exponential(p, 1.0), 0.0);
+  EXPECT_GE(exponential(x, 1.0), 0.0);
+}
+
+TEST(Pcg64, UniformityChiSquare) {
+  Pcg64 eng(77, 3);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<std::int64_t> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[uniformIndex(eng, kBuckets)];
+  const std::vector<double> expected(kBuckets, static_cast<double>(kDraws) / kBuckets);
+  EXPECT_GT(stats::chiSquareGof(counts, expected).pValue, 1e-4);
+}
+
+TEST(Pcg64, BitBalance) {
+  // Each of the 64 output bits should be set about half the time.
+  Pcg64 eng(123, 9);
+  constexpr int kDraws = 40000;
+  std::vector<int> ones(64, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    std::uint64_t v = eng.next();
+    for (int b = 0; b < 64; ++b) ones[b] += static_cast<int>((v >> b) & 1);
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(ones[b] / static_cast<double>(kDraws), 0.5, 0.02) << "bit " << b;
+  }
+}
+
+TEST(Xoshiro, SuccessiveValuesUncorrelated) {
+  // Lag-1 serial correlation of uniform doubles should be ~0.
+  Xoshiro256pp eng(35);
+  double prev = uniformDouble(eng);
+  double sumXY = 0.0;
+  double sumX = 0.0;
+  double sumX2 = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double cur = uniformDouble(eng);
+    sumXY += prev * cur;
+    sumX += prev;
+    sumX2 += prev * prev;
+    prev = cur;
+  }
+  const double meanX = sumX / kDraws;
+  const double cov = sumXY / kDraws - meanX * meanX;
+  const double var = sumX2 / kDraws - meanX * meanX;
+  EXPECT_NEAR(cov / var, 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace rlslb::rng

@@ -1,0 +1,84 @@
+// Tests for src/runner: the replication harness must be deterministic for a
+// base seed regardless of thread count.
+#include <gtest/gtest.h>
+
+#include "config/generators.hpp"
+#include "core/rls.hpp"
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+#include "runner/replication.hpp"
+
+namespace rlslb::runner {
+namespace {
+
+TEST(Runner, ScalarShapeAndOrder) {
+  const auto samples = runReplicationsScalar(
+      10, 1, [](std::int64_t rep, std::uint64_t) { return static_cast<double>(rep); }, 1);
+  ASSERT_EQ(samples.size(), 10u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i], static_cast<double>(i));
+  }
+}
+
+TEST(Runner, SeedsFollowStreamSeedContract) {
+  std::vector<std::uint64_t> seen;
+  runReplicationsScalar(
+      5, 42,
+      [&](std::int64_t, std::uint64_t seed) {
+        seen.push_back(seed);
+        return 0.0;
+      },
+      1);
+  for (std::size_t rep = 0; rep < 5; ++rep) {
+    EXPECT_EQ(seen[rep], rng::streamSeed(42, rep));
+  }
+}
+
+TEST(Runner, ThreadCountInvariance) {
+  const auto body = [](std::int64_t, std::uint64_t seed) {
+    core::SimOptions o;
+    o.engine = core::SimOptions::EngineKind::Jump;
+    o.seed = seed;
+    return core::balancingTime(config::allInOne(8, 32), o);
+  };
+  const auto oneThread = runReplicationsScalar(32, 7, body, 1);
+  const auto fourThreads = runReplicationsScalar(32, 7, body, 4);
+  ASSERT_EQ(oneThread.size(), fourThreads.size());
+  for (std::size_t i = 0; i < oneThread.size(); ++i) {
+    EXPECT_DOUBLE_EQ(oneThread[i], fourThreads[i]) << i;
+  }
+}
+
+TEST(Runner, MultiMetric) {
+  const auto result = runReplications(6, 3, 2, [](std::int64_t rep, std::uint64_t) {
+    return std::vector<double>{static_cast<double>(rep), static_cast<double>(rep * rep)};
+  });
+  ASSERT_EQ(result.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.samples[1][3], 9.0);
+  const auto s = result.summary(0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+}
+
+TEST(Runner, SummaryIntegration) {
+  const auto result = runReplications(100, 11, 1, [](std::int64_t, std::uint64_t seed) {
+    rng::Xoshiro256pp eng(seed);
+    return std::vector<double>{rng::exponential(eng, 1.0)};
+  });
+  const auto s = result.summary(0);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_NEAR(s.mean, 1.0, 0.5);
+  EXPECT_GT(s.ci95Half, 0.0);
+}
+
+TEST(Runner, BaseSeedChangesResults) {
+  const auto body = [](std::int64_t, std::uint64_t seed) {
+    rng::Xoshiro256pp eng(seed);
+    return rng::uniformDouble(eng);
+  };
+  const auto a = runReplicationsScalar(8, 1, body, 1);
+  const auto b = runReplicationsScalar(8, 2, body, 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rlslb::runner

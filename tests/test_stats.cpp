@@ -1,0 +1,373 @@
+// Tests for src/stats: streaming moments, summaries, special functions,
+// hypothesis tests, OLS regression, bootstrap, and the dense solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/linalg.hpp"
+#include "stats/regression.hpp"
+#include "stats/running_stat.hpp"
+#include "stats/special.hpp"
+#include "stats/summary.hpp"
+#include "stats/tests.hpp"
+
+namespace rlslb::stats {
+namespace {
+
+TEST(RunningStat, MeanVarianceExact) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat rs;
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.sem(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  rng::Xoshiro256pp eng(1);
+  RunningStat whole;
+  RunningStat partA;
+  RunningStat partB;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng::standardNormal(eng) * 3.0 + 1.0;
+    whole.add(x);
+    (i % 2 == 0 ? partA : partB).add(x);
+  }
+  partA.merge(partB);
+  EXPECT_EQ(partA.count(), whole.count());
+  EXPECT_NEAR(partA.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(partA.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(partA.min(), whole.min());
+  EXPECT_DOUBLE_EQ(partA.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  RunningStat b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Summary, FullFieldCheck) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_GT(s.ci95Half, 0.0);
+  // CI should contain the mean of the generating uniform: 50.5 trivially.
+  EXPECT_NEAR(s.stddev, 29.011, 0.01);
+}
+
+TEST(Pearson, PerfectAndAnticorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  rng::Xoshiro256pp eng(54);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng::standardNormal(eng));
+    y.push_back(rng::standardNormal(eng));
+  }
+  EXPECT_NEAR(pearsonCorrelation(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, ConstantInputIsZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearsonCorrelation(x, y), 0.0);
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normalCdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normalCdf(-1.0), 0.15865525393145707, 1e-10);
+}
+
+TEST(Special, NormalQuantileRoundTrip) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(Special, GammaPAgainstChiSquare) {
+  // Chi-square(2) CDF at x is 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(gammaP(1.0, x / 2.0), 1.0 - std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(Special, GammaPQComplementary) {
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(gammaP(a, x) + gammaQ(a, x), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Special, KolmogorovSurvivalKnown) {
+  EXPECT_NEAR(kolmogorovSurvival(1.36), 0.0505, 0.002);  // classic 5% point
+  EXPECT_DOUBLE_EQ(kolmogorovSurvival(0.0), 1.0);
+  EXPECT_NEAR(kolmogorovSurvival(2.0), 0.00067, 2e-4);
+}
+
+TEST(Special, ChiSquareSurvivalKnown) {
+  // 95th percentile of chi2 with 5 dof is about 11.07.
+  EXPECT_NEAR(chiSquareSurvival(11.0705, 5), 0.05, 1e-3);
+}
+
+TEST(Special, TQuantileMonotone) {
+  EXPECT_NEAR(tQuantile975(1), 12.706, 1e-3);
+  EXPECT_GT(tQuantile975(5), tQuantile975(30));
+  EXPECT_NEAR(tQuantile975(1000), 1.96, 1e-2);
+}
+
+TEST(MannWhitney, SameDistributionHighP) {
+  rng::Xoshiro256pp eng(2);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng::exponential(eng, 1.0));
+    b.push_back(rng::exponential(eng, 1.0));
+  }
+  EXPECT_GT(mannWhitneyU(a, b).pValue, 0.001);
+}
+
+TEST(MannWhitney, ShiftedDistributionLowP) {
+  rng::Xoshiro256pp eng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng::standardNormal(eng));
+    b.push_back(rng::standardNormal(eng) + 0.5);
+  }
+  EXPECT_LT(mannWhitneyU(a, b).pValue, 1e-4);
+}
+
+TEST(MannWhitney, AllTied) {
+  const std::vector<double> a(10, 1.0);
+  const std::vector<double> b(10, 1.0);
+  EXPECT_DOUBLE_EQ(mannWhitneyU(a, b).pValue, 1.0);
+}
+
+TEST(KsTwoSample, SameDistributionHighP) {
+  rng::Xoshiro256pp eng(4);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 800; ++i) {
+    a.push_back(rng::uniformDouble(eng));
+    b.push_back(rng::uniformDouble(eng));
+  }
+  EXPECT_GT(ksTwoSample(a, b).pValue, 0.001);
+}
+
+TEST(KsTwoSample, DifferentShapeLowP) {
+  rng::Xoshiro256pp eng(5);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 800; ++i) {
+    a.push_back(rng::uniformDouble(eng));
+    b.push_back(rng::exponential(eng, 2.0));
+  }
+  EXPECT_LT(ksTwoSample(a, b).pValue, 1e-6);
+}
+
+TEST(KsOneSample, UniformAgainstIdentityCdf) {
+  rng::Xoshiro256pp eng(51);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng::uniformDouble(eng));
+  const auto res = ksOneSample(samples, [](double x) {
+    if (x < 0) return 0.0;
+    if (x > 1) return 1.0;
+    return x;
+  });
+  EXPECT_GT(res.pValue, 0.001);
+}
+
+TEST(KsOneSample, ExponentialAgainstItsCdf) {
+  rng::Xoshiro256pp eng(52);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng::exponential(eng, 2.0));
+  const auto res = ksOneSample(samples, [](double x) { return 1.0 - std::exp(-2.0 * x); });
+  EXPECT_GT(res.pValue, 0.001);
+}
+
+TEST(KsOneSample, WrongCdfRejected) {
+  rng::Xoshiro256pp eng(53);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng::exponential(eng, 2.0));
+  // Claim it is Exp(1): should be decisively rejected.
+  const auto res = ksOneSample(samples, [](double x) { return 1.0 - std::exp(-x); });
+  EXPECT_LT(res.pValue, 1e-6);
+}
+
+TEST(KsTwoSample, StatisticBounds) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 11, 12};
+  const auto r = ksTwoSample(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);  // fully separated
+  EXPECT_LT(r.pValue, 0.1);
+}
+
+TEST(ChiSquareGof, UniformCountsPass) {
+  const std::vector<std::int64_t> obs = {100, 95, 105, 98, 102};
+  const std::vector<double> expected(5, 100.0);
+  EXPECT_GT(chiSquareGof(obs, expected).pValue, 0.5);
+}
+
+TEST(ChiSquareGof, SkewedCountsFail) {
+  const std::vector<std::int64_t> obs = {200, 50, 100, 100, 50};
+  const std::vector<double> expected(5, 100.0);
+  EXPECT_LT(chiSquareGof(obs, expected).pValue, 1e-6);
+}
+
+TEST(Linalg, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  std::vector<double> x;
+  ASSERT_TRUE(solveLinearSystem(a, {5, 10}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, DetectsSingular) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  std::vector<double> x;
+  EXPECT_FALSE(solveLinearSystem(a, {1, 2}, x));
+}
+
+TEST(Linalg, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  std::vector<double> x;
+  ASSERT_TRUE(solveLinearSystem(a, {3, 7}, x));
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, RandomSystemsRoundTrip) {
+  rng::Xoshiro256pp eng(6);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng::uniformIndex(eng, 8));
+    Matrix a(n, n);
+    std::vector<double> xTrue(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xTrue[i] = rng::standardNormal(eng);
+      for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng::standardNormal(eng);
+      a.at(i, i) += static_cast<double>(n);  // diagonally dominant: well-posed
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * xTrue[j];
+    }
+    std::vector<double> x;
+    ASSERT_TRUE(solveLinearSystem(a, b, x));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-8);
+  }
+}
+
+TEST(Ols, RecoversLinearModel) {
+  rng::Xoshiro256pp eng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double x1 = rng::uniformDouble(eng) * 10;
+    const double x2 = rng::uniformDouble(eng) * 5;
+    rows.push_back({x1, x2, 1.0});
+    y.push_back(2.0 * x1 - 3.0 * x2 + 7.0 + 0.01 * rng::standardNormal(eng));
+  }
+  const OlsFit fit = olsFit(rows, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 0.01);
+  EXPECT_NEAR(fit.coefficients[1], -3.0, 0.01);
+  EXPECT_NEAR(fit.coefficients[2], 7.0, 0.05);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(Ols, PerfectFitR2One) {
+  std::vector<std::vector<double>> rows = {{1, 1}, {2, 1}, {3, 1}};
+  std::vector<double> y = {3, 5, 7};  // y = 2x + 1
+  const OlsFit fit = olsFit(rows, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residualRms, 0.0, 1e-9);
+}
+
+TEST(Ols, SingularFeaturesReported) {
+  std::vector<std::vector<double>> rows = {{1, 2}, {2, 4}, {3, 6}};  // collinear
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_FALSE(olsFit(rows, y).ok);
+}
+
+TEST(Bootstrap, MeanCiCoversTruth) {
+  rng::Xoshiro256pp eng(8);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) samples.push_back(rng::exponential(eng, 0.5));  // mean 2
+  const auto meanFn = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  const BootstrapCi ci = bootstrapCi(samples, meanFn, 500, 0.95, eng);
+  EXPECT_LT(ci.lo, ci.estimate);
+  EXPECT_GT(ci.hi, ci.estimate);
+  EXPECT_LT(ci.lo, 2.0);
+  EXPECT_GT(ci.hi, 1.8);  // generous: CI should sit near the truth
+}
+
+TEST(Bootstrap, DegenerateSample) {
+  rng::Xoshiro256pp eng(9);
+  const std::vector<double> samples(50, 3.0);
+  const auto meanFn = [](const std::vector<double>& v) { return v[0]; };
+  const BootstrapCi ci = bootstrapCi(samples, meanFn, 100, 0.9, eng);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+}  // namespace
+}  // namespace rlslb::stats
