@@ -1,4 +1,4 @@
-// Ablations for the design choices called out in DESIGN.md section 7:
+// Ablations for the design choices called out in docs/EXPERIMENTS.md:
 //
 //  (a) engine choice -- wall-clock of naive vs jump vs hybrid on workloads
 //      with opposite shapes (all-in-one: 2 levels; staircase: many levels),

@@ -1,4 +1,5 @@
-// Shared scaffolding for the experiment harnesses (E1-E12 in DESIGN.md).
+// Shared scaffolding for the experiment harnesses (E1-E15; the roster and
+// methodology live in docs/EXPERIMENTS.md).
 //
 // Every harness runs argument-free at the "default" scale (laptop-friendly,
 // minutes for the whole suite) and accepts:

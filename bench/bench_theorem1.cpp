@@ -7,7 +7,7 @@
 // T / (ln n + n^2/m); the previous best bound [11] would instead need an
 // extra ln(n) factor on the n^2/m term ((ln n)^2 + ln(n)*n^2/m), which
 // would show up as the normalized column *growing* with n in the m = n
-// rows. Paper-vs-measured notes live in EXPERIMENTS.md (E1).
+// rows. Paper-vs-measured notes live in docs/EXPERIMENTS.md (E1).
 #include <cmath>
 #include <vector>
 

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
           .cell(s.median)
           .cell(s.p90)
           .cell(s.p99)
-          .cell("[" + formatSig(p99Ci.lo, 3) + "," + formatSig(p99Ci.hi, 3) + "]")
+          .cell(formatCi(p99Ci.lo, p99Ci.hi))
           .cell(s.max)
           .cell(budget, 4)
           .cell(s.p99 / budget, 3)

@@ -4,14 +4,13 @@
 // target, trajectory output and replication statistics. Examples:
 //
 //   # 50 replications of the worst case, summary statistics
-//   ./example_simulate --n=4096 --m=32768 --init=allinone --reps=50
+//   ./build/examples/simulate --n=4096 --m=32768 --init=allinone --reps=50
 //
 //   # one trajectory on a CSV grid, strict protocol, jump engine
-//   ./example_simulate --n=1024 --m=8192 --init=staircase --engine=jump \
-//       --trajectory=0.5 --csv
+//   ./build/examples/simulate --n=1024 --m=8192 --init=staircase --engine=jump --trajectory=0.5 --csv
 //
 //   # stop at an 8-balanced configuration instead of perfect balance
-//   ./example_simulate --n=1024 --m=8192 --target=8
+//   ./build/examples/simulate --n=1024 --m=8192 --target=8
 #include <cstdio>
 #include <string>
 

@@ -1,12 +1,12 @@
 // Initial-configuration generators for the experiments.
 //
 // Each generator corresponds to a workload used somewhere in the paper's
-// analysis or in the experiment suite (see DESIGN.md section 4):
+// analysis or in the experiment suite (see docs/EXPERIMENTS.md):
 //  - allInOne:       the Theorem-1 worst case / Omega(ln n) lower bound start
 //  - twoPoint:       the Omega(n^2/m) lower bound configuration
 //  - halfHalf:       the reshaped configuration of Lemma 13 / Figure 3
 //  - uniformRandom:  one-choice placement (balls thrown u.a.r.), Section 2
-//  - balanced / nearBalanced: Phase-3 starts
+//  - balanced / plusMinusOne: Phase-3 starts
 //  - powerLaw, staircase: skewed starts for robustness experiments
 #pragma once
 
@@ -24,7 +24,7 @@ Configuration allInOne(std::int64_t n, std::int64_t m);
 Configuration balanced(std::int64_t n, std::int64_t m);
 
 /// Requires n | m and m/n >= 1: bin 0 has avg+1, bin 1 has avg-1, rest avg.
-/// Time to perfect balance is exactly Exp((avg+1)/n) (see DESIGN.md).
+/// Time to perfect balance is exactly Exp((avg+1)/n) (see docs/EXPERIMENTS.md).
 Configuration twoPoint(std::int64_t n, std::int64_t m);
 
 /// Requires n even: n/2 bins at avg+x, n/2 at avg-x (avg = m/n integral,

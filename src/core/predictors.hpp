@@ -24,7 +24,7 @@ double whpBudget(std::int64_t n, std::int64_t m);
 double lowerBoundAllInOne(std::int64_t n, std::int64_t m);
 
 /// Exact expected balancing time of the two-point configuration:
-/// n / (avg + 1) (requires n | m; see DESIGN.md for the argument).
+/// n / (avg + 1) (requires n | m; see docs/EXPERIMENTS.md for the argument).
 double twoPointExactTime(std::int64_t n, std::int64_t m);
 
 /// Lemma 8 explicit upper bound for m <= n from the all-in-one start:

@@ -1,7 +1,8 @@
 // Public facade of the library: one-call construction of an exact RLS
 // simulator and convenience wrappers for the common "measure the balancing
 // time" workflow. See README.md for a tour; examples/quickstart.cpp is the
-// smallest complete program.
+// smallest complete program, and docs/ARCHITECTURE.md maps the modules
+// behind this header to the paper's concepts.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,6 @@
-// Exact analysis of the RLS configuration process for tiny systems.
+// Exact analysis of the RLS configuration process for tiny systems: the
+// independent oracle behind the engine-validation tests (docs/EXPERIMENTS.md,
+// E13).
 //
 // Projected onto load multisets, RLS is a CTMC whose states are the
 // partitions of m into at most n parts and whose transitions are the

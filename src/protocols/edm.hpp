@@ -6,7 +6,7 @@
 // probability (load(i) - avg)/load(i); its destination is drawn uniformly
 // among the *underloaded* bins (global knowledge again).
 //
-// Substitution note (DESIGN.md section 5): [10] proves O(ln ln m + ln n)
+// Substitution note (docs/EXPERIMENTS.md, E10): [10] proves O(ln ln m + ln n)
 // convergence for a family of such average-aware protocols; we implement
 // the canonical member as described above. Only the scaling shape (fast,
 // m-dependent, knowledge-assisted) is compared against RLS, mirroring the

@@ -4,7 +4,7 @@
 // Determinism contract: replication r always receives the seed
 // rng::streamSeed(baseSeed, r), so results are bit-identical for a given
 // baseSeed regardless of thread count or scheduling -- experiment tables in
-// EXPERIMENTS.md are exactly reproducible.
+// docs/EXPERIMENTS.md are exactly reproducible.
 #pragma once
 
 #include <cstdint>

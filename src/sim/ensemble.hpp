@@ -1,7 +1,8 @@
 // Ensemble statistics over replicated trajectories: accumulate per-run
 // sample-and-hold values of the balance metrics on a shared time grid, so
 // benches and applications can report E[disc(t)] / E[overloaded(t)] curves
-// (the figure-style view of the phase decomposition, E15).
+// (the figure-style view of the phase decomposition; docs/EXPERIMENTS.md,
+// E15).
 #pragma once
 
 #include <cstdint>

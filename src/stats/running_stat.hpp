@@ -1,4 +1,9 @@
 // Welford streaming moments with numerically stable parallel merge.
+//
+// Invariants: add() never loses precision to catastrophic cancellation (the
+// m2 update is Welford's), and merge() is associative up to rounding, so the
+// replication runner may combine per-thread accumulators in any fixed order
+// and still satisfy the determinism contract of docs/EXPERIMENTS.md.
 #pragma once
 
 #include <cstdint>

@@ -26,7 +26,7 @@ TestResult ksTwoSample(const std::vector<double>& a, const std::vector<double>& 
 
 /// One-sample Kolmogorov-Smirnov against a fully specified continuous CDF,
 /// asymptotic p-value. This is how the simulators are validated against the
-/// exact uniformization CDF of the tiny-system chain (DESIGN.md, E13).
+/// exact uniformization CDF of the tiny-system chain (docs/EXPERIMENTS.md, E13).
 TestResult ksOneSample(const std::vector<double>& samples,
                        const std::function<double(double)>& cdf);
 

@@ -60,6 +60,17 @@ std::string formatHuman(double value) {
   return formatSig(value, 3);
 }
 
+std::string formatCi(double lo, double hi, int sig) {
+  std::string out;
+  out.reserve(24);
+  out.push_back('[');
+  out.append(formatSig(lo, sig));
+  out.push_back(',');
+  out.append(formatSig(hi, sig));
+  out.push_back(']');
+  return out;
+}
+
 std::string padLeft(const std::string& s, std::size_t w) {
   if (s.size() >= w) return s;
   return std::string(w - s.size(), ' ') + s;

@@ -20,6 +20,9 @@ std::string formatCount(std::int64_t value);
 /// "1.23k", "4.5M", "6.7G" style magnitudes for axis-like labels.
 std::string formatHuman(double value);
 
+/// Confidence-interval cell: "[lo,hi]" with `sig` significant digits each.
+std::string formatCi(double lo, double hi, int sig = 3);
+
 /// Left/right pad `s` with spaces to width `w` (no truncation).
 std::string padLeft(const std::string& s, std::size_t w);
 std::string padRight(const std::string& s, std::size_t w);

@@ -1,4 +1,6 @@
-// Monotonic wall-clock timer for benchmark harnesses.
+// Monotonic wall-clock timer for benchmark harnesses. Wraps steady_clock
+// (never jumps backwards under NTP adjustments), so measured wall times are
+// safe to difference; it measures real elapsed time, not CPU time.
 #pragma once
 
 #include <chrono>

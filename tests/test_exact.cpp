@@ -53,7 +53,8 @@ TEST(RlsChain, TwoBinsFourBallsHandComputed) {
 
 TEST(RlsChain, TwoPointClosedForm) {
   // Two-point configuration: E[T] = n / (avg + 1) exactly, because every
-  // non-terminal permitted move preserves the load multiset (DESIGN.md).
+  // non-terminal permitted move preserves the load multiset (the relabeling
+  // argument in docs/EXPERIMENTS.md, E3).
   for (std::int64_t n : {2, 3, 4, 5}) {
     for (std::int64_t avg : {1, 2, 3}) {
       const std::int64_t m = n * avg;
