@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   auto ctx = bench::parseArgs(argc, argv, "bench_ablation",
                               "design ablations: engine choice, hybrid threshold, gap");
 
+  // ctx.pool() is reused by every sweep below; wall-clock cells measure
+  // the threaded harness, so ms/run scales with --threads.
   const std::int64_t n = ctx.sized(1024, 2);
   const std::vector<Workload> workloads = {
       {"all-in-one m=8n", config::allInOne(n, 8 * n)},
@@ -58,7 +60,8 @@ int main(int argc, char** argv) {
               o.engine = kind;
               o.seed = seed;
               return core::balancingTime(w.configuration, o);
-            });
+            },
+            ctx.pool());
         const double ms = wall.millis() / static_cast<double>(reps);
         const char* name = kind == core::SimOptions::EngineKind::Naive   ? "naive"
                            : kind == core::SimOptions::EngineKind::Jump ? "jump"
@@ -91,7 +94,8 @@ int main(int argc, char** argv) {
               o.levelThreshold = threshold;
               o.seed = seed;
               return core::balancingTime(w.configuration, o);
-            });
+            },
+            ctx.pool());
         table.row()
             .cell(w.name)
             .cell(threshold)
@@ -120,7 +124,8 @@ int main(int argc, char** argv) {
             const auto r = core::balance(init, o);
             return std::vector<double>{r.time, static_cast<double>(r.activations),
                                        static_cast<double>(r.moves)};
-          });
+          },
+          ctx.pool());
       table.row()
           .cell(gap)
           .cell(reps)

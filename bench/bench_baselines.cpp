@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
             return std::vector<double>{static_cast<double>(r.activations), r.time,
                                        static_cast<double>(draws),
                                        crs.metrics().discrepancy};
-          });
+          }, ctx.pool());
       const auto act = result.summary(0);
       const auto time = result.summary(1);
       const auto draws = result.summary(2);
@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
             o.engine = core::SimOptions::EngineKind::Hybrid;
             o.seed = seed;
             return core::balancingTime(config::allInOne(n, m), o, sim::Target::xBalanced(band));
-          });
+          }, ctx.pool());
       const double rlsTime = stats::summarize(rlsSamples).mean;
 
       struct Row {
@@ -163,7 +163,7 @@ int main(int argc, char** argv) {
               const std::int64_t rounds = proto->runUntilBalanced(band, 2000);
               return std::vector<double>{static_cast<double>(rounds),
                                          proto->metrics().discrepancy};
-            });
+            }, ctx.pool());
         const auto rounds = result.summary(0);
         const auto disc = result.summary(1);
         table.row()
@@ -205,7 +205,7 @@ int main(int argc, char** argv) {
             const auto rls = core::balance(config::allInOne(n, n), o);
             return std::vector<double>{maxSum / samplesPerRun,
                                        static_cast<double>(rls.finalState.maxLoad)};
-          });
+          }, ctx.pool());
       const double lnN = std::log(static_cast<double>(n));
       table.row()
           .cell(n)

@@ -6,14 +6,20 @@
 //   --scale=small|default|full   coarse knob multiplying sizes and reps
 //   --seed=<u64>                 base seed (default 20170529, the IPDPS date)
 //   --reps=<k>                   override replication count
+//   --threads=<t>                replication fan-out (0 = hardware, 1 = serial)
 //   --csv                        also emit CSV blocks for plotting
+//
+// Results are bit-identical for a given seed at any --threads value (the
+// streamSeed contract; see src/runner/replication.hpp).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "runner/thread_pool.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -25,8 +31,14 @@ struct BenchContext {
   double scale = 1.0;       // size multiplier
   std::int64_t reps = 0;    // 0 = per-experiment default
   std::uint64_t seed = 20170529;
+  int threads = 0;          // 0 = hardware concurrency
   bool csv = false;
   WallTimer timer;
+  // One pool per harness, sized by --threads and shared by every
+  // runReplications sweep so the knob governs the whole binary.
+  std::shared_ptr<runner::ThreadPool> sharedPool;
+
+  [[nodiscard]] runner::ThreadPool& pool() const { return *sharedPool; }
 
   /// Scaled replication count.
   [[nodiscard]] std::int64_t repsOr(std::int64_t dflt) const {
@@ -59,6 +71,8 @@ inline BenchContext parseArgs(int argc, char** argv, const char* benchName,
   }
   ctx.reps = args.getInt("reps", 0);
   ctx.seed = static_cast<std::uint64_t>(args.getInt("seed", 20170529));
+  ctx.threads = args.getThreads(0);
+  ctx.sharedPool = std::make_shared<runner::ThreadPool>(ctx.threads);
   ctx.csv = args.getBool("csv", false);
   const auto unused = args.unusedKeys();
   if (!unused.empty()) {
@@ -68,8 +82,9 @@ inline BenchContext parseArgs(int argc, char** argv, const char* benchName,
   std::printf("==============================================================\n");
   std::printf("%s\n", benchName);
   std::printf("reproduces: %s\n", whatItReproduces);
-  std::printf("scale=%s seed=%llu\n", scale.c_str(),
-              static_cast<unsigned long long>(ctx.seed));
+  std::printf("scale=%s seed=%llu threads=%d%s\n", scale.c_str(),
+              static_cast<unsigned long long>(ctx.seed), ctx.threads,
+              ctx.threads == 0 ? " (hardware)" : "");
   std::printf("==============================================================\n\n");
   return ctx;
 }

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
           [&](std::int64_t, std::uint64_t seed) {
             core::ReverseLastMoveAdversary adv(p);
             return core::runWithAdversary(init, seed, adv, sim::Target::perfect()).time;
-          });
+          }, ctx.pool());
       const auto s = stats::summarize(samples);
       if (p == 0.0) plainMean = s.mean;
       table.row()
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       return core::balance(init, o, sim::Target::perfect(), limits).finalState.discrepancy();
     };
     const auto plain = stats::summarize(
-        runner::runReplicationsScalar(reps, ctx.seed ^ 0x111, runPlain));
+        runner::runReplicationsScalar(reps, ctx.seed ^ 0x111, runPlain, ctx.pool()));
     table.row().cell("none (plain RLS)").cell(reps).cell(plain.mean).cell(plain.ci95Half).cell(
         "1");
 
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
             auto adv = row.make();
             return core::runWithAdversary(init, seed, *adv, sim::Target::perfect(), limits)
                 .finalState.discrepancy();
-          });
+          }, ctx.pool());
       const auto s = stats::summarize(samples);
       table.row().cell(row.name).cell(reps).cell(s.mean).cell(s.ci95Half).cell(
           s.mean / plain.mean, 3);

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
             const auto r = engine.runUntilEquilibrium(500'000'000);
             return std::vector<double>{r.time, engine.weightedDiscrepancy(),
                                        static_cast<double>(r.moves)};
-          });
+          }, ctx.pool());
       const auto t = result.summary(0);
       const auto wd = result.summary(1);
       const auto mv = result.summary(2);
@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
             const auto r = engine.runUntilEquilibrium(500'000'000);
             return std::vector<double>{r.time, static_cast<double>(r.finalSpread),
                                        static_cast<double>(maxW)};
-          });
+          }, ctx.pool());
       const auto t = result.summary(0);
       const auto spread = result.summary(1);
       const auto maxW = result.summary(2);

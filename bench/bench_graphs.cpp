@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
             const auto r = sim::runUntil(engine, sim::Target::perfect(),
                                          {.maxTime = 1e9, .maxEvents = 2'000'000'000});
             return r.time;
-          });
+          }, ctx.pool());
       const auto s = stats::summarize(samples);
       if (e.name == "complete") completeMean = s.mean;
       table.row()
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
             return sim::runUntil(engine, sim::Target::perfect(),
                                  {.maxTime = 1e9, .maxEvents = 2'000'000'000})
                 .time;
-          });
+          }, ctx.pool());
       const auto knSamples = runner::runReplicationsScalar(
           reps, ctx.seed ^ static_cast<std::uint64_t>(n * 3),
           [&](std::int64_t, std::uint64_t seed) {
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
             return sim::runUntil(engine, sim::Target::perfect(),
                                  {.maxTime = 1e9, .maxEvents = 2'000'000'000})
                 .time;
-          });
+          }, ctx.pool());
       const double ct = stats::summarize(cycSamples).mean;
       const double kt = stats::summarize(knSamples).mean;
       table.row()

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
             o.seed = seed;
             const auto r = core::balance(config::allInOne(n, m), o);
             return std::vector<double>{r.time, static_cast<double>(r.moves)};
-          });
+          }, ctx.pool());
       const auto t = result.summary(0);
       const auto moves = result.summary(1);
       const double bound = harmonic(m) - harmonic((m + n - 1) / n);
@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
             o.engine = core::SimOptions::EngineKind::Jump;
             o.seed = seed;
             return core::balancingTime(config::twoPoint(c.n, m), o);
-          });
+          }, ctx.pool());
       const auto s = stats::summarize(samples);
       const double exactVal = static_cast<double>(c.n) / static_cast<double>(c.avg + 1);
       std::string chainCol = "-";
@@ -134,7 +134,7 @@ int main(int argc, char** argv) {
               o.engine = core::SimOptions::EngineKind::Hybrid;
               o.seed = seed;
               return core::balancingTime(config::allInOne(n, m), o);
-            });
+            }, ctx.pool());
         const auto s = stats::summarize(samples);
         // Lemma 8's explicit bound: sum_{r=2..m} n / (r(r-1)) = n*(1 - 1/m).
         const double lemmaBound = static_cast<double>(n) *

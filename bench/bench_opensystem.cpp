@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
               opts.gap = rls ? 1 : 1 << 30;
               dynamic::OpenSystem sys(n, opts, seed);
               return stationarySpread(sys, 30.0 / mu, 60, 0.5 / mu);
-            });
+            }, ctx.pool());
       };
       const auto off = stats::summarize(measure(false, 0x1));
       const auto on = stats::summarize(measure(true, 0x2));
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
                                        c.departures > 0 ? static_cast<double>(c.migrations) /
                                                               static_cast<double>(c.departures)
                                                         : 0.0};
-          });
+          }, ctx.pool());
       table.row()
           .cell(rho, 4)
           .cell(result.summary(1).mean, 5)
@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
               opts.gap = rls ? 1 : 1 << 30;
               dynamic::OpenSystem sys(n, opts, seed);
               return stationarySpread(sys, 150.0, 60, 2.5);
-            });
+            }, ctx.pool());
       };
       const auto off = stats::summarize(measure(false, 0x3));
       const auto on = stats::summarize(measure(true, 0x4));

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
             const double t1 = tracker.hitTime(0);
             const double t2 = tracker.hitTime(1);
             return std::vector<double>{t1, t2 - t1, r.time - t2, r.time};
-          });
+          }, ctx.pool());
       const auto p1 = result.summary(0);
       const auto p2 = result.summary(1);
       const auto p3 = result.summary(2);
@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
             core::balance(config::halfHalf(n, m, x), o, sim::Target::xBalanced(target), limits,
                           &tracker);
             return tracker.hitTime(0);
-          });
+          }, ctx.pool());
       const auto s = stats::summarize(samples);
       const double predicted = std::log(static_cast<double>(avg + x)) -
                                std::log(static_cast<double>(avg - x));
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
               if (!engine->step()) break;
             }
             return engine->time();
-          });
+          }, ctx.pool());
       const auto s = stats::summarize(samples);
       const double predicted = lnN * lnN / static_cast<double>(avg);
       table.row()

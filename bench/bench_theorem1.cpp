@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
             o.engine = core::SimOptions::EngineKind::Hybrid;
             o.seed = seed;
             return core::balancingTime(config::allInOne(n, m), o);
-          });
+          },
+          ctx.pool());
       const auto s = stats::summarize(samples);
       const double lnN = std::log(static_cast<double>(n));
       const double n2m = static_cast<double>(n) * static_cast<double>(n) / static_cast<double>(m);

@@ -13,7 +13,7 @@
 #include "bench_common.hpp"
 #include "config/generators.hpp"
 #include "core/rls.hpp"
-#include "runner/replication.hpp"
+#include "runner/thread_pool.hpp"
 #include "sim/ensemble.hpp"
 #include "sim/probes.hpp"
 
@@ -28,10 +28,10 @@ int main(int argc, char** argv) {
   const std::int64_t reps = ctx.repsOr(40);
   const double dt = 0.5;
   const double horizon = 24.0;
-  sim::EnsembleAccumulator ensemble(dt, horizon);
 
-  const auto samples = runner::runReplicationsScalar(
-      reps, ctx.seed, [&](std::int64_t, std::uint64_t seed) {
+  const auto ensemble = sim::accumulateEnsemble(
+      dt, horizon, reps, ctx.seed,
+      [&](std::int64_t, std::uint64_t seed) {
         sim::TrajectoryRecorder recorder(dt / 4.0);
         core::SimOptions o;
         o.engine = core::SimOptions::EngineKind::Hybrid;
@@ -39,11 +39,9 @@ int main(int argc, char** argv) {
         sim::RunLimits limits;
         limits.maxTime = horizon + 1.0;
         core::balance(config::allInOne(n, m), o, sim::Target::perfect(), limits, &recorder);
-        ensemble.addRun(recorder.points());
-        return recorder.points().back().time;
+        return recorder.points();
       },
-      /*numThreads=*/1);  // shared accumulator: keep it single-threaded
-  (void)samples;
+      ctx.pool());
 
   Table table({"t", "E[disc]", "E[log(1+disc)]", "E[overloaded]", "disc/avg"});
   const double avg = static_cast<double>(m) / static_cast<double>(n);

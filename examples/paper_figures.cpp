@@ -10,17 +10,25 @@
 //  Figure 3: the Lemma 13 reshaping -- an arbitrary x-balanced
 //            configuration destructively reshaped to the half/half form,
 //            with the ignored move classes annotated.
+//  Figure 4: the ensemble mean discrepancy trajectory E[disc(t)] from the
+//            worst case (the E15 curve), replications fanned out on the
+//            thread pool -- pass --threads=<t> (0 = hardware).
 //
-//   $ ./example_paper_figures
+//   $ ./example_paper_figures [--threads=0]
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "config/generators.hpp"
 #include "core/coupling.hpp"
+#include "core/rls.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/ensemble.hpp"
+#include "sim/probes.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -127,13 +135,55 @@ void figure3() {
   std::printf("  by reversing it with destructive moves (Lemma 2).\n\n");
 }
 
+void figure4(int threads) {
+  std::printf("Figure 4: the mean discrepancy trajectory (E15 curve)\n");
+  std::printf("=====================================================\n");
+  const std::int64_t n = 256;
+  const std::int64_t m = 8 * n;
+  const std::int64_t reps = 48;
+  const double dt = 1.0;
+  const double horizon = 16.0;
+
+  runner::ThreadPool pool(threads);
+  const auto ensemble = sim::accumulateEnsemble(
+      dt, horizon, reps, /*baseSeed=*/20170529,
+      [&](std::int64_t, std::uint64_t seed) {
+        sim::TrajectoryRecorder recorder(dt / 4.0);
+        core::SimOptions o;
+        o.seed = seed;
+        sim::RunLimits limits;
+        limits.maxTime = horizon + 1.0;
+        core::balance(config::allInOne(n, m), o, sim::Target::perfect(), limits, &recorder);
+        return recorder.points();
+      },
+      pool);
+
+  // Log-scale bars: the Phase 1 exponential crash shows as a linear ramp.
+  const double top = std::log1p(ensemble.meanDiscrepancy(0));
+  std::printf("  n=%lld m=8n, %lld replications on %d thread(s); bar = log(1+E[disc])\n\n",
+              static_cast<long long>(n), static_cast<long long>(reps), pool.size());
+  for (std::size_t g = 0; g < ensemble.gridSize(); ++g) {
+    const double value = ensemble.meanDiscrepancy(g);
+    const int bar = static_cast<int>(std::round(std::log1p(value) / top * 48.0));
+    std::printf("  t=%5.1f |%-48.*s| E[disc] = %.3f\n", ensemble.timeAt(g), bar,
+                "################################################", value);
+  }
+  std::printf("\n  the ramp's three regimes are the paper's Phase 1/2/3 decomposition;\n");
+  std::printf("  identical output for any --threads (the streamSeed contract).\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const rlslb::CliArgs args(argc, argv);
-  (void)args;
+  const int threads = args.getThreads(0);
+  for (const auto& k : args.unusedKeys()) {
+    std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+    return 2;
+  }
   figure1();
   figure2();
   figure3();
+  figure4(threads);
   return 0;
 }

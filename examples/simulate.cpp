@@ -3,8 +3,8 @@
 // Composes every public knob: initial shape, engine, protocol gap, stopping
 // target, trajectory output and replication statistics. Examples:
 //
-//   # 50 replications of the worst case, summary statistics
-//   ./build/examples/simulate --n=4096 --m=32768 --init=allinone --reps=50
+//   # 50 replications of the worst case on all cores, summary statistics
+//   ./build/examples/simulate --n=4096 --m=32768 --init=allinone --reps=50 --threads=0
 //
 //   # one trajectory on a CSV grid, strict protocol, jump engine
 //   ./build/examples/simulate --n=1024 --m=8192 --init=staircase --engine=jump --trajectory=0.5 --csv
@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
   const double trajectoryStep = args.getDouble("trajectory", 0.0);
   const bool csv = args.getBool("csv", false);
   const int gap = static_cast<int>(args.getInt("gap", 1));
+  const int threads = args.getThreads(0);
   for (const auto& k : args.unusedKeys()) {
     std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
     return 2;
@@ -108,13 +109,15 @@ int main(int argc, char** argv) {
   }
 
   const auto samples = runner::runReplicationsScalar(
-      reps, seed, [&](std::int64_t rep, std::uint64_t repSeed) {
+      reps, seed,
+      [&](std::int64_t rep, std::uint64_t repSeed) {
         const auto init = makeInit(initName, n, m, rng::streamSeed(repSeed, 0x9e37));
         core::SimOptions o = options;
         o.seed = repSeed;
         (void)rep;
         return core::balancingTime(init, o, target);
-      });
+      },
+      threads);
   const auto s = stats::summarize(samples);
   Table t({"reps", "mean", "ci95", "stddev", "min", "p50", "p90", "p99", "max"});
   t.row()

@@ -68,7 +68,11 @@ sim::RunResult runWithAdversary(const config::Configuration& initial, std::uint6
   if (probe != nullptr) probe->onEvent(engine);
   bool reached = target.reached(engine.state());
   while (!reached && engine.time() < limits.maxTime && engine.activations() < limits.maxEvents) {
-    if (!engine.step()) break;
+    // The composite process (protocol + adversary) is not absorbed just
+    // because the protocol chain is: clocks keep ringing on failed
+    // activations and the adversary's destructive moves can push the
+    // spread back above the gap. Only a ball-less system truly stops.
+    if (!engine.step() && !engine.stepActivation()) break;
     adversary.afterEvent(engine, adversaryEng);
     if (probe != nullptr) probe->onEvent(engine);
     reached = target.reached(engine.state());

@@ -1,65 +1,63 @@
 #include "runner/replication.hpp"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
 
 #include "rng/splitmix64.hpp"
 #include "util/assert.hpp"
 
 namespace rlslb::runner {
 
+namespace {
+
+/// Pool size for the pool-owning overloads: never more threads than
+/// replications, never less than one.
+int clampedThreads(int numThreads, std::int64_t reps) {
+  const auto resolved = static_cast<std::int64_t>(ThreadPool::resolveThreadCount(numThreads));
+  return static_cast<int>(std::max<std::int64_t>(1, std::min(resolved, reps)));
+}
+
+}  // namespace
+
+ReplicationResult runReplications(std::int64_t reps, std::uint64_t baseSeed,
+                                  std::size_t numMetrics, const ReplicationFn& fn,
+                                  ThreadPool& pool) {
+  RLSLB_ASSERT(reps >= 0 && numMetrics >= 1);
+  ReplicationResult result;
+  result.samples.assign(numMetrics, std::vector<double>(static_cast<std::size_t>(reps)));
+  pool.parallelFor(reps, [&](std::int64_t rep) {
+    auto values = fn(rep, rng::streamSeed(baseSeed, static_cast<std::uint64_t>(rep)));
+    RLSLB_ASSERT_MSG(values.size() == numMetrics, "replication returned wrong metric count");
+    for (std::size_t metric = 0; metric < numMetrics; ++metric) {
+      result.samples[metric][static_cast<std::size_t>(rep)] = values[metric];
+    }
+  });
+  return result;
+}
+
 ReplicationResult runReplications(std::int64_t reps, std::uint64_t baseSeed,
                                   std::size_t numMetrics, const ReplicationFn& fn,
                                   int numThreads) {
-  RLSLB_ASSERT(reps >= 1 && numMetrics >= 1);
-  if (numThreads <= 0) {
-    numThreads = static_cast<int>(std::thread::hardware_concurrency());
-    if (numThreads <= 0) numThreads = 1;
-  }
-  numThreads = static_cast<int>(std::min<std::int64_t>(numThreads, reps));
+  ThreadPool pool(clampedThreads(numThreads, reps));
+  return runReplications(reps, baseSeed, numMetrics, fn, pool);
+}
 
-  // rows[rep][metric], filled independently per replication.
-  std::vector<std::vector<double>> rows(static_cast<std::size_t>(reps));
-  std::atomic<std::int64_t> next{0};
-
-  auto worker = [&]() {
-    for (;;) {
-      const std::int64_t rep = next.fetch_add(1, std::memory_order_relaxed);
-      if (rep >= reps) return;
-      auto values = fn(rep, rng::streamSeed(baseSeed, static_cast<std::uint64_t>(rep)));
-      RLSLB_ASSERT_MSG(values.size() == numMetrics, "replication returned wrong metric count");
-      rows[static_cast<std::size_t>(rep)] = std::move(values);
-    }
-  };
-
-  if (numThreads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(numThreads));
-    for (int t = 0; t < numThreads; ++t) threads.emplace_back(worker);
-    for (auto& th : threads) th.join();
-  }
-
-  ReplicationResult result;
-  result.samples.assign(numMetrics, std::vector<double>(static_cast<std::size_t>(reps)));
-  for (std::int64_t rep = 0; rep < reps; ++rep) {
-    for (std::size_t metric = 0; metric < numMetrics; ++metric) {
-      result.samples[metric][static_cast<std::size_t>(rep)] =
-          rows[static_cast<std::size_t>(rep)][metric];
-    }
-  }
-  return result;
+std::vector<double> runReplicationsScalar(
+    std::int64_t reps, std::uint64_t baseSeed,
+    const std::function<double(std::int64_t, std::uint64_t)>& fn, ThreadPool& pool) {
+  RLSLB_ASSERT(reps >= 0);
+  std::vector<double> samples(static_cast<std::size_t>(reps));
+  pool.parallelFor(reps, [&](std::int64_t rep) {
+    samples[static_cast<std::size_t>(rep)] =
+        fn(rep, rng::streamSeed(baseSeed, static_cast<std::uint64_t>(rep)));
+  });
+  return samples;
 }
 
 std::vector<double> runReplicationsScalar(
     std::int64_t reps, std::uint64_t baseSeed,
     const std::function<double(std::int64_t, std::uint64_t)>& fn, int numThreads) {
-  const auto result = runReplications(
-      reps, baseSeed, 1,
-      [&fn](std::int64_t rep, std::uint64_t seed) { return std::vector<double>{fn(rep, seed)}; },
-      numThreads);
-  return result.samples[0];
+  ThreadPool pool(clampedThreads(numThreads, reps));
+  return runReplicationsScalar(reps, baseSeed, fn, pool);
 }
 
 }  // namespace rlslb::runner

@@ -2,8 +2,9 @@
 // and collect per-replication metric vectors.
 //
 // Determinism contract: replication r always receives the seed
-// rng::streamSeed(baseSeed, r), so results are bit-identical for a given
-// baseSeed regardless of thread count or scheduling -- experiment tables in
+// rng::streamSeed(baseSeed, r) and writes into the pre-sized column slot
+// samples[metric][r], so results are bit-identical for a given baseSeed
+// regardless of thread count or scheduling -- experiment tables in
 // docs/EXPERIMENTS.md are exactly reproducible.
 #pragma once
 
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/thread_pool.hpp"
 #include "stats/summary.hpp"
 
 namespace rlslb::runner {
@@ -33,13 +35,24 @@ struct ReplicationResult {
   }
 };
 
-/// Run `reps` replications on `numThreads` threads (0 = hardware
-/// concurrency). `numMetrics` is the length of each replication's result.
+/// Run `reps` replications on an existing pool. `numMetrics` is the length
+/// of each replication's result. `reps == 0` returns well-formed empty
+/// columns. If `fn` throws, the first exception propagates (once) and the
+/// partial result is discarded.
+ReplicationResult runReplications(std::int64_t reps, std::uint64_t baseSeed,
+                                  std::size_t numMetrics, const ReplicationFn& fn,
+                                  ThreadPool& pool);
+
+/// Convenience overload owning a pool for the call (0 = hardware
+/// concurrency, clamped to `reps` so tiny jobs don't spawn idle threads).
 ReplicationResult runReplications(std::int64_t reps, std::uint64_t baseSeed,
                                   std::size_t numMetrics, const ReplicationFn& fn,
                                   int numThreads = 0);
 
-/// Single-metric convenience wrapper.
+/// Single-metric convenience wrappers.
+std::vector<double> runReplicationsScalar(std::int64_t reps, std::uint64_t baseSeed,
+                                          const std::function<double(std::int64_t, std::uint64_t)>& fn,
+                                          ThreadPool& pool);
 std::vector<double> runReplicationsScalar(std::int64_t reps, std::uint64_t baseSeed,
                                           const std::function<double(std::int64_t, std::uint64_t)>& fn,
                                           int numThreads = 0);

@@ -1,0 +1,122 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rlslb::runner {
+
+int ThreadPool::resolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(int numThreads) {
+  const int total = resolveThreadCount(numThreads);
+  workers_.reserve(static_cast<std::size_t>(total - 1));
+  for (int t = 0; t + 1 < total; ++t) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workCv_.wait(lock, [&] { return stop_ || generation_ != seenGeneration; });
+      if (stop_) return;
+      seenGeneration = generation_;
+    }
+    runChunks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--activeWorkers_ == 0) doneCv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::runChunks() {
+  for (;;) {
+    if (abort_.load(std::memory_order_relaxed)) return;
+    if (token_ != nullptr && token_->cancelled()) return;
+    const std::int64_t start = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (start >= count_) return;
+    const std::int64_t end = std::min(start + chunk_, count_);
+    try {
+      for (std::int64_t i = start; i < end; ++i) {
+        if (abort_.load(std::memory_order_relaxed)) return;
+        if (token_ != nullptr && token_->cancelled()) return;
+        (*body_)(i);
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      abort_.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::int64_t count, const std::function<void(std::int64_t)>& body,
+                             CancellationToken* token) {
+  RLSLB_ASSERT(count >= 0);
+  if (count == 0) return;
+
+  if (workers_.empty()) {
+    // Serial path: run inline so exceptions propagate directly and callers
+    // with thread-unsafe bodies see no concurrency at all.
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (token != nullptr && token->cancelled()) return;
+      body(i);
+    }
+    return;
+  }
+
+  // Aim for ~8 chunks per thread so the dynamic distribution absorbs
+  // replication-cost skew without contending on next_ per index.
+  const auto threads = static_cast<std::int64_t>(size());
+  count_ = count;
+  chunk_ = std::max<std::int64_t>(1, count / (threads * 8));
+  body_ = &body;
+  token_ = token;
+  next_.store(0, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    activeWorkers_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  workCv_.notify_all();
+
+  runChunks();  // the calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] { return activeWorkers_ == 0; });
+  }
+
+  body_ = nullptr;
+  token_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;  // leave the pool reusable after a throw
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace rlslb::runner

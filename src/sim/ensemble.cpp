@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "rng/splitmix64.hpp"
 #include "util/assert.hpp"
 
 namespace rlslb::sim {
@@ -42,6 +43,35 @@ double EnsembleAccumulator::meanLogDiscrepancy(std::size_t g) const {
 double EnsembleAccumulator::meanOverloaded(std::size_t g) const {
   RLSLB_ASSERT(runs_ > 0 && g < overloadedSum_.size());
   return overloadedSum_[g] / static_cast<double>(runs_);
+}
+
+void EnsembleAccumulator::merge(const EnsembleAccumulator& other) {
+  RLSLB_ASSERT_MSG(other.dt_ == dt_ && other.discSum_.size() == discSum_.size(),
+                   "can only merge accumulators on the same grid");
+  runs_ += other.runs_;
+  for (std::size_t g = 0; g < discSum_.size(); ++g) {
+    discSum_[g] += other.discSum_[g];
+    logDiscSum_[g] += other.logDiscSum_[g];
+    overloadedSum_[g] += other.overloadedSum_[g];
+  }
+}
+
+EnsembleAccumulator accumulateEnsemble(double dt, double horizon, std::int64_t reps,
+                                       std::uint64_t baseSeed, const TrajectoryFn& fn,
+                                       runner::ThreadPool& pool) {
+  RLSLB_ASSERT(reps >= 0);
+  // Replications land in their own slot; the fold below runs in replication
+  // order on the calling thread, so the floating-point summation order --
+  // hence the result, bit for bit -- is independent of the pool size.
+  std::vector<std::vector<TrajectoryRecorder::Point>> trajectories(
+      static_cast<std::size_t>(reps));
+  pool.parallelFor(reps, [&](std::int64_t rep) {
+    trajectories[static_cast<std::size_t>(rep)] =
+        fn(rep, rng::streamSeed(baseSeed, static_cast<std::uint64_t>(rep)));
+  });
+  EnsembleAccumulator ensemble(dt, horizon);
+  for (const auto& trajectory : trajectories) ensemble.addRun(trajectory);
+  return ensemble;
 }
 
 }  // namespace rlslb::sim

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "runner/thread_pool.hpp"
 #include "sim/probes.hpp"
 
 namespace rlslb::sim {
@@ -24,6 +26,15 @@ class EnsembleAccumulator {
   /// final value.
   void addRun(const std::vector<TrajectoryRecorder::Point>& trajectory);
 
+  /// Fold another accumulator (same dt and grid) into this one; the other
+  /// is left untouched. For combining accumulators built separately (e.g.
+  /// sharded sweeps across processes or machines). The in-process parallel
+  /// path deliberately does NOT use this: accumulateEnsemble folds
+  /// trajectories in replication order so its summation order -- hence its
+  /// output, bit for bit -- is independent of the pool size, which
+  /// per-worker private accumulators could not guarantee.
+  void merge(const EnsembleAccumulator& other);
+
   [[nodiscard]] std::int64_t runs() const { return runs_; }
   [[nodiscard]] std::size_t gridSize() const { return discSum_.size(); }
   [[nodiscard]] double timeAt(std::size_t g) const { return static_cast<double>(g) * dt_; }
@@ -39,5 +50,18 @@ class EnsembleAccumulator {
   std::vector<double> logDiscSum_;
   std::vector<double> overloadedSum_;
 };
+
+/// fn(repIndex, seed) -> one run's trajectory (TrajectoryRecorder::points()).
+using TrajectoryFn =
+    std::function<std::vector<TrajectoryRecorder::Point>(std::int64_t, std::uint64_t)>;
+
+/// Run `reps` trajectory replications on `pool` -- replication r is seeded
+/// with rng::streamSeed(baseSeed, r), same contract as runner::runReplications
+/// -- and fold them into one accumulator. Trajectories are collected into
+/// per-replication slots and folded in replication order, so the ensemble
+/// means are bit-identical for any pool size.
+EnsembleAccumulator accumulateEnsemble(double dt, double horizon, std::int64_t reps,
+                                       std::uint64_t baseSeed, const TrajectoryFn& fn,
+                                       runner::ThreadPool& pool);
 
 }  // namespace rlslb::sim

@@ -62,6 +62,17 @@ void NaiveEngine::bookkeepMove(std::size_t src, std::size_t dst) {
 
 bool NaiveEngine::step() {
   if (state_.numBalls == 0) return false;  // no clocks ever ring
+  // O(1) absorption check: a move src -> dst needs load(src) >= load(dst) +
+  // gap, so once the spread drops below the gap no activation can ever
+  // succeed again -- the labeled chain is absorbed even though clocks keep
+  // ringing. Without this the strict (gap = 2) variant would simulate
+  // failed activations forever whenever it settles at spread 1.
+  if (state_.maxLoad - state_.minLoad < gap_) return false;
+  return stepActivation();
+}
+
+bool NaiveEngine::stepActivation() {
+  if (state_.numBalls == 0) return false;  // no clocks ever ring
   time_ += rng::exponential(eng_, static_cast<double>(state_.numBalls));
   ++activations_;
 

@@ -31,6 +31,16 @@ class NaiveEngine final : public Engine {
   NaiveEngine(const config::Configuration& initial, std::uint64_t seed, int gap = 1);
 
   bool step() override;
+
+  /// Like step(), but simulates the activation even when the protocol chain
+  /// alone is absorbed (spread < gap): the clock rings, time advances, the
+  /// (necessarily failing) move is drawn and rejected. Returns false only
+  /// when no clock can ever ring (no balls). The DML runner uses this --
+  /// its composite process (protocol + adversary reacting to activations)
+  /// is not absorbed just because the protocol is, since a destructive
+  /// move can push the spread back above the gap.
+  bool stepActivation();
+
   [[nodiscard]] double time() const override { return time_; }
   [[nodiscard]] std::int64_t moves() const override { return moves_; }
   [[nodiscard]] std::int64_t activations() const override { return activations_; }

@@ -67,6 +67,12 @@ bool CliArgs::getBool(const std::string& name, bool dflt) const {
   return dflt;
 }
 
+int CliArgs::getThreads(int dflt) const {
+  const std::int64_t v = getInt("threads", dflt);
+  RLSLB_ASSERT_MSG(v >= 0 && v <= 4096, "--threads must be in [0, 4096] (0 = hardware)");
+  return static_cast<int>(v);
+}
+
 std::vector<std::string> CliArgs::unusedKeys() const {
   std::vector<std::string> out;
   for (const auto& [k, _] : values_) {

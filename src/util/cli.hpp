@@ -22,6 +22,10 @@ class CliArgs {
   [[nodiscard]] double getDouble(const std::string& name, double dflt) const;
   [[nodiscard]] bool getBool(const std::string& name, bool dflt) const;
 
+  /// The standard --threads knob consumed by runner::ThreadPool: 0 means
+  /// "hardware concurrency", 1 forces the serial path, negative aborts.
+  [[nodiscard]] int getThreads(int dflt = 0) const;
+
   /// Keys that were parsed but never queried; harnesses call this last and
   /// abort on typos.
   [[nodiscard]] std::vector<std::string> unusedKeys() const;

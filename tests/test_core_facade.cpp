@@ -53,18 +53,20 @@ TEST(MakeEngine, EngineStartsOnACopyOfTheInitialConfiguration) {
 }
 
 TEST(MakeEngine, GapReachesTheNaiveEngine) {
-  // With gap = 3 no move is ever legal from the start [2, 0]: a move requires
-  // load(src) >= load(dst) + 3. Activations still ring (the naive engine
-  // simulates failed activations too), but none may succeed. With the default
-  // gap = 1 the same start balances almost surely, so if `gap` were dropped
-  // by the facade this test would move within a few hundred activations.
+  // With gap = 3 no move is ever legal from the start [2, 0] (a move
+  // requires load(src) >= load(dst) + 3), so the engine detects absorption
+  // immediately -- which can only happen if the facade forwarded the gap:
+  // with the default gap = 1 the same start has legal moves and steps.
   SimOptions o = opts(SimOptions::EngineKind::Naive);
   o.gap = 3;
   auto engine = core::makeEngine(config::allInOne(2, 2), o);
-  for (int i = 0; i < 500; ++i) ASSERT_TRUE(engine->step());
+  EXPECT_FALSE(engine->step());
   EXPECT_EQ(engine->moves(), 0);
   EXPECT_EQ(engine->state().maxLoad, 2);
   EXPECT_EQ(engine->state().minLoad, 0);
+
+  auto dflt = core::makeEngine(config::allInOne(2, 2), opts(SimOptions::EngineKind::Naive));
+  EXPECT_TRUE(dflt->step());
 }
 
 TEST(MakeEngine, ActivationsVisibilityMatchesEngineKind) {

@@ -16,6 +16,23 @@
 namespace rlslb::core {
 namespace {
 
+TEST(RunWithAdversary, StrictGapCompositeNotFrozenByProtocolAbsorption) {
+  // With gap = 2 the protocol chain alone absorbs at spread <= 1, but the
+  // composite process does not: clocks keep ringing and the adversary's
+  // destructive moves can push the spread back above the gap. The run must
+  // keep consuming its event budget (here against an unreachable target)
+  // instead of silently freezing at the protocol's absorption point.
+  MinToMaxAdversary adversary(1.0);
+  sim::RunLimits limits;
+  limits.maxEvents = 500;
+  // disc <= 0 needs n | m, impossible for n=2, m=3: unreachable target.
+  const auto r = runWithAdversary(config::Configuration({2, 1}), 5, adversary,
+                                  sim::Target::xBalanced(0), limits, nullptr, /*gap=*/2);
+  EXPECT_FALSE(r.reachedTarget);
+  EXPECT_EQ(r.activations, 500);  // every clock ring happened
+  EXPECT_GT(r.time, 0.0);
+}
+
 TEST(DmlCoupling, StartsEqualAndClose) {
   rng::Xoshiro256pp eng(1);
   DmlCoupling c(config::uniformRandom(8, 40, eng), 2);

@@ -116,6 +116,61 @@ TEST(NaiveEngine, ActivationLowerBound) {
   EXPECT_GE(r.activations, r.moves);
 }
 
+TEST(NaiveEngine, StrictGapAbsorbsWhenSpreadBelowGap) {
+  // Strict protocol (gap 2) at spread 1: load(src) >= load(dst) + 2 can
+  // never hold, so the labeled chain is absorbed. step() must say so in
+  // O(1) instead of simulating failed activations forever (previously a
+  // runUntil with an unreachable target spun until RunLimits).
+  sim::NaiveEngine engine(Configuration({2, 1}), 31, /*gap=*/2);
+  EXPECT_FALSE(engine.step());
+  EXPECT_DOUBLE_EQ(engine.time(), 0.0);
+  EXPECT_EQ(engine.activations(), 0);
+
+  RunLimits limits;
+  limits.maxEvents = 50000;
+  // disc <= 0 needs n | m, impossible for n=2, m=3: unreachable target.
+  const auto r = sim::runUntil(engine, Target::xBalanced(0), limits);
+  EXPECT_FALSE(r.reachedTarget);
+  EXPECT_EQ(r.activations, 0);  // terminated by absorption, not the limit
+}
+
+TEST(NaiveEngine, StrictGapRunTerminatesByAbsorptionLikeJump) {
+  // gap = 2 from the worst case with an unreachable target: the run must
+  // end by absorption once the spread drops below the gap, mirroring the
+  // jump engine's absorption contract, instead of exhausting maxEvents.
+  sim::NaiveEngine engine(config::allInOne(4, 6), 32, /*gap=*/2);
+  RunLimits limits;
+  limits.maxEvents = 2000000;
+  const auto r = sim::runUntil(engine, Target::xBalanced(0), limits);
+  EXPECT_FALSE(r.reachedTarget);
+  EXPECT_LT(r.activations, limits.maxEvents);
+  EXPECT_LE(engine.state().maxLoad - engine.state().minLoad, 1);
+}
+
+TEST(NaiveEngine, GapOneAbsorbsExactlyAtUniformLoads) {
+  // With n | m the gap-1 chain absorbs exactly when every load equals the
+  // average; a bare step() loop must terminate there (previously it would
+  // keep consuming rng and advancing time on failed activations).
+  sim::NaiveEngine engine(config::allInOne(6, 30), 33);
+  while (engine.step()) {
+  }
+  EXPECT_EQ(engine.state().minLoad, engine.state().maxLoad);
+  EXPECT_TRUE(engine.state().perfectlyBalanced());
+  // Absorption is permanent: further steps change nothing.
+  const double t = engine.time();
+  EXPECT_FALSE(engine.step());
+  EXPECT_DOUBLE_EQ(engine.time(), t);
+}
+
+TEST(NaiveEngine, ForcedMoveRevivesAbsorbedChain) {
+  // The DML adversary can push an absorbed configuration apart again; the
+  // absorption check must be state-based, not sticky.
+  sim::NaiveEngine engine(Configuration({2, 2}), 34);
+  EXPECT_FALSE(engine.step());
+  engine.applyForcedMove(0, 1);  // now {1, 3}: spread 2, moves possible
+  EXPECT_TRUE(engine.step());
+}
+
 TEST(JumpEngine, AbsorbsExactlyAtPerfectBalance) {
   sim::JumpEngine engine(config::allInOne(6, 30), 6);
   while (engine.step()) {

@@ -41,6 +41,66 @@ TEST(StreamSeed, DistinctAcrossBases) {
   EXPECT_NE(streamSeed(1, 0), streamSeed(2, 0));
 }
 
+TEST(StreamSeed, AdjacentStreamsUncorrelated) {
+  // The parallel replication harness hands stream r to one thread and
+  // stream r+1 to another; this pins the independence the pool relies on.
+  // Pearson correlation of paired uniforms from adjacent streams must be
+  // within the +-4/sqrt(N) sampling band.
+  for (const std::uint64_t rep : {0ULL, 1ULL, 999ULL}) {
+    Xoshiro256pp a(streamSeed(20170529, rep));
+    Xoshiro256pp b(streamSeed(20170529, rep + 1));
+    constexpr int kDraws = 200000;
+    double sumX = 0.0;
+    double sumY = 0.0;
+    double sumXY = 0.0;
+    double sumX2 = 0.0;
+    double sumY2 = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = uniformDouble(a);
+      const double y = uniformDouble(b);
+      sumX += x;
+      sumY += y;
+      sumXY += x * y;
+      sumX2 += x * x;
+      sumY2 += y * y;
+    }
+    const double meanX = sumX / kDraws;
+    const double meanY = sumY / kDraws;
+    const double cov = sumXY / kDraws - meanX * meanY;
+    const double varX = sumX2 / kDraws - meanX * meanX;
+    const double varY = sumY2 / kDraws - meanY * meanY;
+    const double corr = cov / std::sqrt(varX * varY);
+    EXPECT_NEAR(corr, 0.0, 4.0 / std::sqrt(static_cast<double>(kDraws))) << "rep " << rep;
+  }
+}
+
+TEST(StreamSeed, AdjacentStreamsJointlyUniform) {
+  // Chi-square independence check on the 8x8 joint histogram of paired
+  // uniforms from streams (r, r+1): with known-uniform marginals the
+  // expected count per cell is N/64.
+  Xoshiro256pp a(streamSeed(7, 100));
+  Xoshiro256pp b(streamSeed(7, 101));
+  constexpr int kSide = 8;
+  constexpr int kDraws = 256000;
+  std::vector<std::int64_t> counts(kSide * kSide, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const auto cx = static_cast<std::size_t>(uniformIndex(a, kSide));
+    const auto cy = static_cast<std::size_t>(uniformIndex(b, kSide));
+    ++counts[cx * kSide + cy];
+  }
+  const std::vector<double> expected(kSide * kSide,
+                                     static_cast<double>(kDraws) / (kSide * kSide));
+  EXPECT_GT(stats::chiSquareGof(counts, expected).pValue, 1e-4);
+}
+
+TEST(StreamSeed, StreamsDifferFromBaseStream) {
+  // streamSeed(base, r) must not collide with the base seed itself or with
+  // reseeded variants the engines derive internally.
+  for (std::uint64_t rep = 0; rep < 100; ++rep) {
+    EXPECT_NE(streamSeed(42, rep), 42ULL);
+  }
+}
+
 TEST(Xoshiro, DeterministicForSeed) {
   Xoshiro256pp a(7);
   Xoshiro256pp b(7);

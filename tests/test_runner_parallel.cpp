@@ -1,0 +1,261 @@
+// Tests for the parallel execution subsystem (runner/thread_pool.hpp and the
+// pooled replication harness): output must be bit-identical for any thread
+// count, exceptions must propagate exactly once without deadlock, and the
+// degenerate shapes (no work, fewer replications than threads) must return
+// well-formed results. This suite is the one the CI sanitizer matrix runs
+// under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "config/generators.hpp"
+#include "core/rls.hpp"
+#include "runner/replication.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/ensemble.hpp"
+#include "sim/probes.hpp"
+
+namespace rlslb::runner {
+namespace {
+
+/// A replication body with real floating-point content: the balancing time
+/// of a jump-engine run, so any cross-thread contamination of rng streams
+/// or result slots shows up as a bit difference.
+double simulateOne(std::uint64_t seed) {
+  core::SimOptions o;
+  o.engine = core::SimOptions::EngineKind::Jump;
+  o.seed = seed;
+  return core::balancingTime(config::allInOne(16, 96), o);
+}
+
+bool bitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(ThreadPool, SizeAccounting) {
+  EXPECT_GE(ThreadPool(0).size(), 1);  // hardware concurrency, caller included
+  EXPECT_EQ(ThreadPool(1).size(), 1);
+  EXPECT_EQ(ThreadPool(5).size(), 5);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(7), 7);
+  EXPECT_GE(ThreadPool::resolveThreadCount(0), 1);
+  EXPECT_GE(ThreadPool::resolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 7}) {
+    ThreadPool pool(threads);
+    const std::int64_t count = 10007;  // prime, so chunks never tile evenly
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallelFor(count, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+    for (std::int64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallelFor(100, [&](std::int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(3);
+  pool.parallelFor(0, [](std::int64_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesExactlyOnce) {
+  ThreadPool pool(8);
+  // Every body throws; the pool must surface exactly one exception on the
+  // calling thread and quiesce without deadlock.
+  int caught = 0;
+  try {
+    pool.parallelFor(64, [](std::int64_t i) {
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+  } catch (const std::runtime_error& e) {
+    ++caught;
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u);
+  }
+  EXPECT_EQ(caught, 1);
+
+  // The pool stays usable after a throw.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallelFor(10, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ExceptionCancelsRemainingWork) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> executed{0};
+  EXPECT_THROW(pool.parallelFor(1 << 20,
+                                [&](std::int64_t i) {
+                                  ++executed;
+                                  if (i == 0) throw std::runtime_error("stop");
+                                }),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), (1 << 20) / 2);  // unclaimed chunks were dropped
+}
+
+TEST(ThreadPool, PreCancelledTokenRunsNothing) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  token.cancel();
+  std::atomic<std::int64_t> executed{0};
+  pool.parallelFor(1000, [&](std::int64_t) { ++executed; }, &token);
+  EXPECT_EQ(executed.load(), 0);
+  token.reset();
+  pool.parallelFor(10, [&](std::int64_t) { ++executed; }, &token);
+  EXPECT_EQ(executed.load(), 10);
+}
+
+TEST(ThreadPool, CancellationFromBodyStopsEarly) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  std::atomic<std::int64_t> executed{0};
+  pool.parallelFor(
+      1 << 20,
+      [&](std::int64_t i) {
+        ++executed;
+        if (i == 0) token.cancel();
+      },
+      &token);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_GE(executed.load(), 1);
+  EXPECT_LT(executed.load(), (1 << 20) / 2);
+}
+
+TEST(RunnerParallel, BitIdenticalForAnyThreadCount) {
+  const auto body = [](std::int64_t, std::uint64_t seed) { return simulateOne(seed); };
+  const std::int64_t reps = 64;
+  const std::uint64_t baseSeed = 20170529;
+  const auto reference = runReplicationsScalar(reps, baseSeed, body, 1);
+  ASSERT_EQ(reference.size(), static_cast<std::size_t>(reps));
+  const int hardware = ThreadPool::resolveThreadCount(0);
+  for (const int threads : {2, 7, hardware}) {
+    const auto parallel = runReplicationsScalar(reps, baseSeed, body, threads);
+    EXPECT_TRUE(bitIdentical(reference, parallel)) << "threads = " << threads;
+  }
+}
+
+TEST(RunnerParallel, MultiMetricColumnsBitIdentical) {
+  const auto body = [](std::int64_t rep, std::uint64_t seed) {
+    const double t = simulateOne(seed);
+    return std::vector<double>{t, static_cast<double>(rep), t * t};
+  };
+  const auto reference = runReplications(33, 7, 3, body, 1);
+  const auto parallel = runReplications(33, 7, 3, body, 7);
+  ASSERT_EQ(reference.samples.size(), 3u);
+  for (std::size_t metric = 0; metric < 3; ++metric) {
+    EXPECT_TRUE(bitIdentical(reference.samples[metric], parallel.samples[metric]))
+        << "metric " << metric;
+  }
+}
+
+TEST(RunnerParallel, SharedPoolMatchesPerCallPool) {
+  ThreadPool pool(5);
+  const auto body = [](std::int64_t, std::uint64_t seed) { return simulateOne(seed); };
+  const auto viaShared = runReplicationsScalar(20, 3, body, pool);
+  const auto viaOwned = runReplicationsScalar(20, 3, body, 4);
+  EXPECT_TRUE(bitIdentical(viaShared, viaOwned));
+  // Reuse the same pool for a second, differently-seeded batch.
+  const auto second = runReplicationsScalar(20, 4, body, pool);
+  EXPECT_FALSE(bitIdentical(viaShared, second));
+}
+
+TEST(RunnerParallel, ZeroRepsIsWellFormed) {
+  const auto result = runReplications(
+      0, 1, 2, [](std::int64_t, std::uint64_t) { return std::vector<double>{0.0, 0.0}; }, 4);
+  ASSERT_EQ(result.samples.size(), 2u);
+  EXPECT_TRUE(result.samples[0].empty());
+  EXPECT_TRUE(result.samples[1].empty());
+
+  const auto scalar = runReplicationsScalar(
+      0, 1, [](std::int64_t, std::uint64_t) { return 0.0; }, 4);
+  EXPECT_TRUE(scalar.empty());
+}
+
+TEST(RunnerParallel, FewerRepsThanThreads) {
+  const auto body = [](std::int64_t, std::uint64_t seed) { return simulateOne(seed); };
+  const auto reference = runReplicationsScalar(3, 11, body, 1);
+  const auto parallel = runReplicationsScalar(3, 11, body, 16);
+  ASSERT_EQ(parallel.size(), 3u);
+  EXPECT_TRUE(bitIdentical(reference, parallel));
+}
+
+TEST(RunnerParallel, ThrowingReplicationPropagatesOnce) {
+  int caught = 0;
+  try {
+    runReplicationsScalar(
+        64, 5,
+        [](std::int64_t rep, std::uint64_t) -> double {
+          if (rep % 3 == 1) throw std::runtime_error("replication failed");
+          return 1.0;
+        },
+        8);
+  } catch (const std::runtime_error& e) {
+    ++caught;
+    EXPECT_STREQ(e.what(), "replication failed");
+  }
+  EXPECT_EQ(caught, 1);
+}
+
+TEST(EnsembleParallel, MeansBitIdenticalForAnyThreadCount) {
+  const auto body = [](std::int64_t, std::uint64_t seed) {
+    sim::TrajectoryRecorder recorder(0.25);
+    core::SimOptions o;
+    o.seed = seed;
+    core::balance(config::allInOne(32, 256), o, sim::Target::perfect(), {}, &recorder);
+    return recorder.points();
+  };
+  ThreadPool serial(1);
+  ThreadPool wide(6);
+  const auto a = sim::accumulateEnsemble(0.5, 8.0, 24, 99, body, serial);
+  const auto b = sim::accumulateEnsemble(0.5, 8.0, 24, 99, body, wide);
+  ASSERT_EQ(a.gridSize(), b.gridSize());
+  EXPECT_EQ(a.runs(), 24);
+  EXPECT_EQ(b.runs(), 24);
+  for (std::size_t g = 0; g < a.gridSize(); ++g) {
+    // memcmp-strength equality, metric by metric.
+    const double da = a.meanDiscrepancy(g);
+    const double db = b.meanDiscrepancy(g);
+    EXPECT_EQ(std::memcmp(&da, &db, sizeof(double)), 0) << "grid " << g;
+    EXPECT_DOUBLE_EQ(a.meanLogDiscrepancy(g), b.meanLogDiscrepancy(g));
+    EXPECT_DOUBLE_EQ(a.meanOverloaded(g), b.meanOverloaded(g));
+  }
+}
+
+TEST(EnsembleParallel, MergeMatchesSequentialFold) {
+  const auto run = [](std::uint64_t seed) {
+    sim::TrajectoryRecorder recorder(0.25);
+    core::SimOptions o;
+    o.seed = seed;
+    core::balance(config::allInOne(16, 64), o, sim::Target::perfect(), {}, &recorder);
+    return recorder.points();
+  };
+  sim::EnsembleAccumulator whole(0.5, 4.0);
+  sim::EnsembleAccumulator left(0.5, 4.0);
+  sim::EnsembleAccumulator right(0.5, 4.0);
+  for (int rep = 0; rep < 8; ++rep) {
+    const auto points = run(1000 + static_cast<std::uint64_t>(rep));
+    whole.addRun(points);
+    (rep < 4 ? left : right).addRun(points);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.runs(), whole.runs());
+  for (std::size_t g = 0; g < whole.gridSize(); ++g) {
+    EXPECT_DOUBLE_EQ(left.meanDiscrepancy(g), whole.meanDiscrepancy(g));
+    EXPECT_DOUBLE_EQ(left.meanOverloaded(g), whole.meanOverloaded(g));
+  }
+}
+
+}  // namespace
+}  // namespace rlslb::runner
