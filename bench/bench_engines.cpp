@@ -82,6 +82,26 @@ void BM_FenwickSample(benchmark::State& state) {
 }
 BENCHMARK(BM_FenwickSample)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
+// Before/after pair for the cached running total (ds/fenwick.hpp): the
+// draw hot path consumes the total every activation, so total() must be a
+// load, not a root prefix-sum walk. The "recompute" variant is the old
+// implementation, kept callable through the public prefixSum(n).
+// Sizes are deliberately not powers of two: prefixSum(n) touches one node
+// per set bit of n, so 1<<k would collapse the recompute to a single read.
+void BM_FenwickTotalCached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ds::Fenwick<std::int64_t> f(std::vector<std::int64_t>(n, 4));
+  for (auto _ : state) benchmark::DoNotOptimize(f.total());
+}
+BENCHMARK(BM_FenwickTotalCached)->Arg(1021)->Arg(100003)->Arg(1048573);
+
+void BM_FenwickTotalRecompute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ds::Fenwick<std::int64_t> f(std::vector<std::int64_t>(n, 4));
+  for (auto _ : state) benchmark::DoNotOptimize(f.prefixSum(n));
+}
+BENCHMARK(BM_FenwickTotalRecompute)->Arg(1021)->Arg(100003)->Arg(1048573);
+
 void BM_LoadMultisetMove(benchmark::State& state) {
   const auto fresh = [] {
     std::vector<std::int64_t> loads;

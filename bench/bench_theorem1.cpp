@@ -1,113 +1,10 @@
-// E1 -- Theorem 1 upper bound: E[T] = O(ln n + n^2/m).
-//
-// Sweeps n and m/n from the all-in-one worst-case start, measures the mean
-// time to perfect balance, and fits  E[T] ~ a*ln(n) + b*n^2/m + c.  The
-// theorem (with its matching lower bounds) predicts a good linear fit with
-// positive a and b and a roughly constant normalized column
-// T / (ln n + n^2/m); the previous best bound [11] would instead need an
-// extra ln(n) factor on the n^2/m term ((ln n)^2 + ln(n)*n^2/m), which
-// would show up as the normalized column *growing* with n in the m = n
-// rows. Paper-vs-measured notes live in docs/EXPERIMENTS.md (E1).
-#include <cmath>
-#include <vector>
-
-#include "bench_common.hpp"
-#include "config/generators.hpp"
-#include "core/rls.hpp"
-#include "runner/replication.hpp"
-#include "stats/regression.hpp"
-#include "stats/summary.hpp"
-
-using namespace rlslb;
+// E1 -- Theorem 1 upper bound. Thin standalone wrapper: the experiment body
+// lives in src/scenario/builtin/e1_theorem1.cpp and is shared with the
+// unified driver (`rlslb run e1_theorem1`). Accepts the common knobs
+// (--scale/--seed/--reps/--threads/--csv), --out=FILE for JSONL results,
+// and key=value parameter overrides.
+#include "scenario/harness.hpp"
 
 int main(int argc, char** argv) {
-  auto ctx = bench::parseArgs(argc, argv, "bench_theorem1",
-                              "Theorem 1: E[T] = O(ln n + n^2/m) (tight)");
-
-  const std::vector<std::int64_t> ns = {ctx.sized(256), ctx.sized(512), ctx.sized(1024),
-                                        ctx.sized(2048), ctx.sized(4096)};
-  const std::vector<std::int64_t> ratios = {1, 8, 64};
-
-  Table table({"n", "m/n", "reps", "E[T] (mean)", "ci95", "p99", "ln n", "n^2/m",
-               "T/(ln n + n^2/m)"});
-  std::vector<std::vector<double>> fitRows;
-  std::vector<double> fitY;
-
-  for (const std::int64_t n : ns) {
-    for (const std::int64_t ratio : ratios) {
-      const std::int64_t m = n * ratio;
-      const std::int64_t reps = ctx.repsOr(30);
-      const auto samples = runner::runReplicationsScalar(
-          reps, ctx.seed ^ static_cast<std::uint64_t>(n * 131 + ratio),
-          [&](std::int64_t, std::uint64_t seed) {
-            core::SimOptions o;
-            o.engine = core::SimOptions::EngineKind::Hybrid;
-            o.seed = seed;
-            return core::balancingTime(config::allInOne(n, m), o);
-          },
-          ctx.pool());
-      const auto s = stats::summarize(samples);
-      const double lnN = std::log(static_cast<double>(n));
-      const double n2m = static_cast<double>(n) * static_cast<double>(n) / static_cast<double>(m);
-      table.row()
-          .cell(n)
-          .cell(ratio)
-          .cell(reps)
-          .cell(s.mean)
-          .cell(s.ci95Half)
-          .cell(s.p99)
-          .cell(lnN, 3)
-          .cell(n2m, 4)
-          .cell(s.mean / (lnN + n2m), 3);
-      fitRows.push_back({lnN, n2m, 1.0});
-      fitY.push_back(s.mean);
-    }
-  }
-  bench::emitTable(ctx, table, "[E1] time to perfect balance from the all-in-one worst case");
-
-  // Zero-intercept fit: both coefficients must come out positive and O(1).
-  const auto fit = stats::olsFit(fitRows, fitY);
-  if (fit.ok) {
-    Table ft({"model", "a (ln n)", "b (n^2/m)", "c", "R^2"});
-    ft.row()
-        .cell("E[T] ~ a*ln n + b*n^2/m + c")
-        .cell(fit.coefficients[0], 4)
-        .cell(fit.coefficients[1], 4)
-        .cell(fit.coefficients[2], 4)
-        .cell(fit.r2, 5);
-    bench::emitTable(ctx, ft, "[E1] joint OLS fit (b must be positive and O(1))");
-  }
-
-  // The discriminating test against the pre-paper bound O((ln n)^2 +
-  // ln(n)*n^2/m) [11]: on the endgame-dominated rows (m = n), regress
-  // log T on log(n^2/m). Tightness predicts slope ~ 1; an extra ln n
-  // factor would push the slope visibly above 1 (log(n*ln n)/log(n) at
-  // these sizes is ~ 1.25).
-  {
-    std::vector<std::vector<double>> rows;
-    std::vector<double> y;
-    for (std::size_t i = 0; i < fitRows.size(); ++i) {
-      const double n2m = fitRows[i][1];
-      if (n2m >= 64.0) {  // endgame-dominated cells
-        rows.push_back({std::log(n2m), 1.0});
-        y.push_back(std::log(fitY[i]));
-      }
-    }
-    const auto slopeFit = stats::olsFit(rows, y);
-    if (slopeFit.ok) {
-      Table st({"regime", "cells", "log-log slope", "R^2", "tight iff"});
-      st.row()
-          .cell("n^2/m >= 64")
-          .cell(static_cast<std::int64_t>(rows.size()))
-          .cell(slopeFit.coefficients[0], 4)
-          .cell(slopeFit.r2, 4)
-          .cell("slope ~ 1.0 (log-factor gap would inflate it)");
-      bench::emitTable(ctx, st, "[E1] tightness check vs the pre-paper bound of [11]");
-    }
-  }
-
-  std::printf("shape check: normalized column should be O(1) across all rows;\n");
-  std::printf("a log-factor gap (the pre-paper bound) would make m=n rows grow with n.\n\n");
-  bench::footer(ctx);
-  return 0;
+  return rlslb::scenario::runStandalone(argc, argv, "e1_theorem1");
 }

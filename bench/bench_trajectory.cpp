@@ -1,62 +1,8 @@
-// E15 -- ensemble trajectories: E[disc(t)] and E[overloaded(t)] curves.
-//
-// The figure-style companion to the phase tables (E5-E7): the mean
-// discrepancy trajectory from the worst case shows the three regimes the
-// analysis predicts -- an exponential crash during Phase 1 (each ball's
-// first activations), a fast mop-up to the logarithmic band, and the long
-// Exp(n/avg)-paced endgame -- and the overloaded-ball curve shows Lemma
-// 15's overload decay. Series are printed as aligned columns; --csv emits
-// machine-readable blocks for plotting.
-#include <cmath>
-#include <vector>
-
-#include "bench_common.hpp"
-#include "config/generators.hpp"
-#include "core/rls.hpp"
-#include "runner/thread_pool.hpp"
-#include "sim/ensemble.hpp"
-#include "sim/probes.hpp"
-
-using namespace rlslb;
+// E15 -- ensemble trajectories. Thin standalone wrapper; the body lives in
+// src/scenario/builtin/e15_trajectory.cpp and is shared with the unified
+// driver (`rlslb run e15_trajectory`).
+#include "scenario/harness.hpp"
 
 int main(int argc, char** argv) {
-  auto ctx = bench::parseArgs(argc, argv, "bench_trajectory",
-                              "ensemble mean trajectories of disc(t) and overloaded(t)");
-
-  const std::int64_t n = ctx.sized(1024, 2);
-  const std::int64_t m = 8 * n;
-  const std::int64_t reps = ctx.repsOr(40);
-  const double dt = 0.5;
-  const double horizon = 24.0;
-
-  const auto ensemble = sim::accumulateEnsemble(
-      dt, horizon, reps, ctx.seed,
-      [&](std::int64_t, std::uint64_t seed) {
-        sim::TrajectoryRecorder recorder(dt / 4.0);
-        core::SimOptions o;
-        o.engine = core::SimOptions::EngineKind::Hybrid;
-        o.seed = seed;
-        sim::RunLimits limits;
-        limits.maxTime = horizon + 1.0;
-        core::balance(config::allInOne(n, m), o, sim::Target::perfect(), limits, &recorder);
-        return recorder.points();
-      },
-      ctx.pool());
-
-  Table table({"t", "E[disc]", "E[log(1+disc)]", "E[overloaded]", "disc/avg"});
-  const double avg = static_cast<double>(m) / static_cast<double>(n);
-  for (std::size_t g = 0; g < ensemble.gridSize(); ++g) {
-    table.row()
-        .cell(ensemble.timeAt(g), 4)
-        .cell(ensemble.meanDiscrepancy(g), 5)
-        .cell(ensemble.meanLogDiscrepancy(g), 4)
-        .cell(ensemble.meanOverloaded(g), 5)
-        .cell(ensemble.meanDiscrepancy(g) / avg, 4);
-  }
-  bench::emitTable(ctx, table,
-                   "[E15] ensemble means over " + std::to_string(reps) +
-                       " runs, all-in-one start, n=" + std::to_string(n) +
-                       ", m=8n (log column linear in t during Phase 1 = exponential decay)");
-  bench::footer(ctx);
-  return 0;
+  return rlslb::scenario::runStandalone(argc, argv, "e15_trajectory");
 }

@@ -1,71 +1,8 @@
-// E4 -- the with-high-probability bound: w.h.p. T = O(ln n + ln(n)*n^2/m).
-//
-// Measures the full distribution of T (quantiles and bootstrap CIs on p99)
-// across n, normalizing by the w.h.p. budget B(n) = ln n * (1 + n^2/m).
-// Theorem 1 predicts the normalized quantile columns stay bounded (in fact
-// shrink modestly) as n grows, and the tail beyond the budget decays like
-// n^{-Omega(1)} (Lemmas 6/7: each budget-sized epoch independently succeeds
-// with constant probability).
-#include <cmath>
-#include <vector>
-
-#include "bench_common.hpp"
-#include "config/generators.hpp"
-#include "core/rls.hpp"
-#include "rng/xoshiro256pp.hpp"
-#include "runner/replication.hpp"
-#include "stats/bootstrap.hpp"
-#include "stats/summary.hpp"
-
-using namespace rlslb;
+// E4 -- w.h.p. tail bound. Thin standalone wrapper; the body lives in
+// src/scenario/builtin/e4_whp.cpp and is shared with the unified driver
+// (`rlslb run e4_whp`).
+#include "scenario/harness.hpp"
 
 int main(int argc, char** argv) {
-  auto ctx = bench::parseArgs(argc, argv, "bench_whp",
-                              "Theorem 1 w.h.p. bound: tail of T vs ln(n)*(1 + n^2/m)");
-
-  Table table({"n", "m/n", "reps", "mean", "p50", "p90", "p99", "p99 ci95", "max",
-               "B = ln n*(1+n^2/m)", "p99/B", "P(T > B)"});
-  for (const std::int64_t n : {ctx.sized(128), ctx.sized(512), ctx.sized(2048)}) {
-    for (const std::int64_t ratio : {4, 32}) {
-      const std::int64_t m = n * ratio;
-      const std::int64_t reps = ctx.repsOr(400);
-      const auto samples = runner::runReplicationsScalar(
-          reps, ctx.seed ^ static_cast<std::uint64_t>(n * 7 + ratio),
-          [&](std::int64_t, std::uint64_t seed) {
-            core::SimOptions o;
-            o.engine = core::SimOptions::EngineKind::Hybrid;
-            o.seed = seed;
-            return core::balancingTime(config::allInOne(n, m), o);
-          },
-          ctx.pool());
-      const auto s = stats::summarize(samples);
-      const double lnN = std::log(static_cast<double>(n));
-      const double budget =
-          lnN * (1.0 + static_cast<double>(n) * static_cast<double>(n) / static_cast<double>(m));
-      rng::Xoshiro256pp bootEng(ctx.seed + 17);
-      const auto p99Ci = stats::bootstrapCi(
-          samples, [](const std::vector<double>& v) { return stats::quantile(v, 0.99); }, 300,
-          0.95, bootEng);
-      std::int64_t exceed = 0;
-      for (double t : samples) exceed += t > budget;
-      table.row()
-          .cell(n)
-          .cell(ratio)
-          .cell(reps)
-          .cell(s.mean)
-          .cell(s.median)
-          .cell(s.p90)
-          .cell(s.p99)
-          .cell(formatCi(p99Ci.lo, p99Ci.hi))
-          .cell(s.max)
-          .cell(budget, 4)
-          .cell(s.p99 / budget, 3)
-          .cell(static_cast<double>(exceed) / static_cast<double>(reps), 3);
-    }
-  }
-  bench::emitTable(ctx, table,
-                   "[E4] tail of the balancing time from the all-in-one start "
-                   "(p99/B bounded, exceedance probability small and shrinking in n)");
-  bench::footer(ctx);
-  return 0;
+  return rlslb::scenario::runStandalone(argc, argv, "e4_whp");
 }

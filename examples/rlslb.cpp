@@ -1,0 +1,134 @@
+// rlslb -- the unified experiment driver over the scenario registry.
+//
+//   rlslb list                         enumerate registered scenarios
+//   rlslb run <name...> [flags] [k=v]  run one or more scenarios by name
+//   rlslb all [flags] [k=v]            run the whole roster, name order
+//
+// Flags (any subcommand that runs scenarios):
+//   --scale=small|default|full   coarse size knob (default ~ minutes total)
+//   --seed=<u64>                 base seed (default 20170529)
+//   --reps=<k>                   override replication count
+//   --threads=<t>                replication fan-out (0 = all cores)
+//   --csv                        also print CSV blocks
+//   --out=FILE                   stream JSONL records (manifest + tables +
+//                                timings; schema in docs/EXPERIMENTS.md)
+//
+// Bare key=value tokens are per-scenario parameter overrides, e.g.
+//   rlslb run e15_trajectory n=4096 horizon=12 --out=r.jsonl
+//
+// One thread pool and one ResultSink are shared across every scenario in
+// the run; for a fixed seed the "table" records are byte-identical across
+// runs, thread counts, and machines (see report/result_sink.hpp).
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "scenario/harness.hpp"
+
+using namespace rlslb;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s run <scenario...> [--scale=..] [--seed=..] [--reps=..]\n"
+               "             [--threads=..] [--csv] [--out=FILE] [key=value...]\n"
+               "       %s all [flags] [key=value...]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Split argv: --flags go to CliArgs; bare tokens are the subcommand,
+  // scenario names, and key=value parameter overrides.
+  std::vector<std::string> flagStrings;
+  std::vector<std::string> words;
+  std::vector<std::string> paramTokens;
+  if (argc > 0) flagStrings.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      flagStrings.push_back(arg);
+    } else if (arg.find('=') != std::string::npos) {
+      paramTokens.push_back(arg);
+    } else {
+      words.push_back(arg);
+    }
+  }
+  if (words.empty()) return usage(argv[0]);
+  const std::string command = words.front();
+  const std::vector<std::string> names(words.begin() + 1, words.end());
+
+  std::vector<const char*> flagPtrs;
+  flagPtrs.reserve(flagStrings.size());
+  for (const auto& s : flagStrings) flagPtrs.push_back(s.c_str());
+  const CliArgs args(static_cast<int>(flagPtrs.size()), flagPtrs.data());
+
+  scenario::registerBuiltinScenarios();
+  const scenario::ScenarioRegistry& registry = scenario::ScenarioRegistry::global();
+
+  if (command == "list") {
+    if (!names.empty() || !paramTokens.empty()) return usage(argv[0]);
+    const auto unknownFlags = args.unusedKeys();
+    if (!unknownFlags.empty()) {
+      for (const auto& k : unknownFlags) std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+      return 2;
+    }
+    Table table({"scenario", "paper ref", "description"});
+    for (const scenario::Scenario* s : registry.list()) {
+      table.row().cell(s->name).cell(s->paperRef).cell(s->description);
+    }
+    table.print(std::cout, "registered scenarios (" + std::to_string(registry.size()) + ")");
+    std::cout << "\nrun one with: " << args.programName()
+              << " run <scenario> [--scale=small] [--out=results.jsonl] [key=value...]\n";
+    return 0;
+  }
+
+  if (command != "run" && command != "all") return usage(argv[0]);
+  if (command == "run" && names.empty()) {
+    std::fprintf(stderr, "run: no scenario names given (try `%s list`)\n", argv[0]);
+    return 2;
+  }
+  if (command == "all" && !names.empty()) return usage(argv[0]);
+
+  scenario::ScenarioContext ctx = scenario::contextFromArgs(args);
+  scenario::applyParamTokens(ctx, paramTokens);
+
+  const std::string outPath = args.getString("out", "");
+  const auto unusedFlags = args.unusedKeys();
+  if (!unusedFlags.empty()) {
+    for (const auto& k : unusedFlags) std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+    return 2;
+  }
+  scenario::ResultOutput out;
+  if (!out.attach(outPath, ctx)) return 2;
+
+  std::vector<std::string> toRun = names;
+  if (command == "all") {
+    for (const scenario::Scenario* s : registry.list()) toRun.push_back(s->name);
+  }
+
+  for (const std::string& name : toRun) {
+    try {
+      registry.runOne(name, ctx);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  // A parameter consumed by none of the scenarios that ran is a typo.
+  const auto unusedParams = ctx.params.unusedKeys();
+  if (!unusedParams.empty()) {
+    for (const auto& k : unusedParams) {
+      std::fprintf(stderr, "unknown parameter %s (not read by any scenario that ran)\n",
+                   k.c_str());
+    }
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Compare a results.jsonl run against the committed perf baseline.
+
+CI runs `rlslb all --scale=small --out=results.jsonl` and calls
+
+    scripts/compare_results.py results.jsonl BENCH_baseline.json
+
+The baseline stores per-scenario wall-clock seconds (the "scenario_end"
+records; schema in docs/EXPERIMENTS.md). Because CI machines and the
+machine that produced the baseline differ in speed, absolute wall-clocks
+are not comparable; instead the check normalizes by the run's median
+speed ratio:
+
+    ratio_i = current_i / baseline_i          (per scenario)
+    speed   = median(ratio_i)                 (machine-speed factor)
+    fail if ratio_i > speed * (1 + tolerance) for any scenario
+
+i.e. a scenario fails when it regressed >20% relative to how the rest of
+the suite moved. Scenarios faster than --min-wall in the baseline are
+skipped (too noisy to gate on). Limitation: a *uniform* slowdown across
+every scenario is indistinguishable from a slower machine and will not
+trip the gate; the uploaded artifact keeps the absolute numbers for
+human trend review.
+
+Regenerate the baseline after an intentional perf change:
+
+    scripts/compare_results.py results.jsonl --write-baseline BENCH_baseline.json
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_wall_clocks(jsonl_path):
+    """scenario -> wall seconds from the scenario_end records."""
+    walls = {}
+    with open(jsonl_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{jsonl_path}:{lineno}: not valid JSON: {e}")
+            if rec.get("type") == "scenario_end":
+                walls[rec["scenario"]] = float(rec["wall_s"])
+    if not walls:
+        sys.exit(f"{jsonl_path}: no scenario_end records (was the run aborted?)")
+    return walls
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("results", help="results.jsonl from an `rlslb all --out=` run")
+    ap.add_argument("baseline", nargs="?", help="committed BENCH_baseline.json")
+    ap.add_argument("--write-baseline", metavar="PATH",
+                    help="write PATH from the results instead of comparing")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed relative regression (default 0.20 = 20%%)")
+    ap.add_argument("--min-wall", type=float, default=0.5,
+                    help="skip scenarios below this baseline wall-clock in "
+                         "seconds (default 0.5)")
+    args = ap.parse_args()
+
+    walls = load_wall_clocks(args.results)
+
+    if args.write_baseline:
+        payload = {
+            "comment": "per-scenario wall-clock baseline for scripts/compare_results.py; "
+                       "regenerate with --write-baseline after intentional perf changes",
+            "flags": "rlslb all --scale=small",
+            "scenarios": {name: round(w, 4) for name, w in sorted(walls.items())},
+        }
+        with open(args.write_baseline, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.write_baseline} with {len(walls)} scenarios")
+        return
+
+    if not args.baseline:
+        sys.exit("either a baseline to compare against or --write-baseline is required")
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)["scenarios"]
+
+    missing = sorted(set(baseline) - set(walls))
+    if missing:
+        sys.exit(f"FAIL: scenarios in the baseline but absent from the run: {missing}")
+    added = sorted(set(walls) - set(baseline))
+    if added:
+        print(f"note: scenarios not in the baseline (skipped): {added}")
+
+    gated = {n: w for n, w in walls.items()
+             if n in baseline and baseline[n] >= args.min_wall}
+    skipped = sorted(n for n in walls if n in baseline and baseline[n] < args.min_wall)
+    if skipped:
+        print(f"note: below --min-wall={args.min_wall}s in the baseline, not gated: {skipped}")
+    if not gated:
+        sys.exit("FAIL: no scenario exceeds --min-wall; the baseline is too small to gate on")
+
+    ratios = {n: w / baseline[n] for n, w in gated.items()}
+    speed = statistics.median(ratios.values())
+    limit = speed * (1.0 + args.tolerance)
+
+    print(f"machine-speed factor (median ratio): {speed:.3f}; "
+          f"per-scenario limit: {limit:.3f}x baseline")
+    print(f"{'scenario':24} {'baseline_s':>10} {'current_s':>10} {'ratio':>7} "
+          f"{'vs median':>9}  verdict")
+    failures = []
+    for name in sorted(ratios):
+        ratio = ratios[name]
+        rel = ratio / speed
+        verdict = "ok"
+        if ratio > limit:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"{name:24} {baseline[name]:10.3f} {walls[name]:10.3f} {ratio:7.3f} "
+              f"{rel:9.3f}  {verdict}")
+
+    if failures:
+        sys.exit(f"FAIL: wall-clock regression >{args.tolerance:.0%} vs baseline "
+                 f"(machine-normalized) in: {failures}")
+    print("OK: no scenario regressed beyond the tolerance")
+
+
+if __name__ == "__main__":
+    main()

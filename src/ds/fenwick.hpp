@@ -5,7 +5,9 @@
 // sampling and O(log n) weight updates with O(n) memory, independent of the
 // number of balls. The `upperBound` operation implements inverse-CDF
 // sampling via binary lifting (one root-to-leaf descent, no binary search
-// over prefixSum calls).
+// over prefixSum calls), and the running total is cached so the per-draw
+// total() consumed by the ticket bound is O(1) instead of a root
+// prefix-sum walk.
 #pragma once
 
 #include <bit>
@@ -23,7 +25,10 @@ class Fenwick {
 
   /// O(n) construction from initial values.
   explicit Fenwick(const std::vector<T>& values) : n_(values.size()), tree_(values.size() + 1) {
-    for (std::size_t i = 1; i <= n_; ++i) tree_[i] = values[i - 1];
+    for (std::size_t i = 1; i <= n_; ++i) {
+      tree_[i] = values[i - 1];
+      total_ += values[i - 1];
+    }
     for (std::size_t i = 1; i <= n_; ++i) {
       const std::size_t parent = i + (i & (~i + 1));
       if (parent <= n_) tree_[parent] += tree_[i];
@@ -34,6 +39,7 @@ class Fenwick {
 
   void add(std::size_t i, T delta) {
     RLSLB_ASSERT(i < n_);
+    total_ += delta;
     for (std::size_t k = i + 1; k <= n_; k += k & (~k + 1)) tree_[k] += delta;
   }
 
@@ -45,7 +51,12 @@ class Fenwick {
     return s;
   }
 
-  [[nodiscard]] T total() const { return prefixSum(n_); }
+  /// Cached running total: O(1), maintained by add(). Draw loops consume
+  /// the total every activation (ticket = uniform in [0, total)), so this
+  /// must not re-walk the root prefix sum (micro-costs: BM_FenwickTotal*
+  /// in bench_engines, "fenwick total" rows in the micro_substrate
+  /// scenario).
+  [[nodiscard]] T total() const { return total_; }
 
   [[nodiscard]] T get(std::size_t i) const {
     RLSLB_ASSERT(i < n_);
@@ -77,6 +88,7 @@ class Fenwick {
  private:
   std::size_t n_;
   std::vector<T> tree_;
+  T total_{0};
 };
 
 }  // namespace rlslb::ds

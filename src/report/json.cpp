@@ -1,0 +1,443 @@
+#include "report/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace rlslb::report {
+
+Json::Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+Json::Json(int v) : kind_(Kind::Int), int_(v) {}
+Json::Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+Json::Json(std::uint64_t v) {
+  if (v <= static_cast<std::uint64_t>(INT64_MAX)) {
+    kind_ = Kind::Int;
+    int_ = static_cast<std::int64_t>(v);
+  } else {
+    kind_ = Kind::String;
+    string_ = std::to_string(v);
+  }
+}
+Json::Json(double v) : kind_(Kind::Double), double_(v) {}
+Json::Json(const char* v) : kind_(Kind::String), string_(v) {}
+Json::Json(std::string v) : kind_(Kind::String), string_(std::move(v)) {}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+bool Json::asBool() const {
+  RLSLB_ASSERT(kind_ == Kind::Bool);
+  return bool_;
+}
+
+std::int64_t Json::asInt() const {
+  RLSLB_ASSERT(kind_ == Kind::Int);
+  return int_;
+}
+
+double Json::asDouble() const {
+  RLSLB_ASSERT(kind_ == Kind::Int || kind_ == Kind::Double);
+  return kind_ == Kind::Int ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Json::asString() const {
+  RLSLB_ASSERT(kind_ == Kind::String);
+  return string_;
+}
+
+Json& Json::push(Json v) {
+  RLSLB_ASSERT(kind_ == Kind::Array);
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  RLSLB_ASSERT(kind_ == Kind::Object);
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) {
+      items_[i] = std::move(v);
+      return *this;
+    }
+  }
+  keys_.push_back(key);
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return &items_[i];
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  RLSLB_ASSERT_MSG(v != nullptr, "Json::at: missing object key");
+  return *v;
+}
+
+const Json& Json::at(std::size_t i) const {
+  RLSLB_ASSERT(kind_ == Kind::Array && i < items_.size());
+  return items_[i];
+}
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::string formatJsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  RLSLB_ASSERT(res.ec == std::errc{});
+  return std::string(buf, res.ptr);
+}
+
+void Json::dumpTo(std::string& out) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Int:
+      out += std::to_string(int_);
+      break;
+    case Kind::Double:
+      out += formatJsonNumber(double_);
+      break;
+    case Kind::String:
+      appendJsonString(out, string_);
+      break;
+    case Kind::Array:
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        items_[i].dumpTo(out);
+      }
+      out.push_back(']');
+      break;
+    case Kind::Object:
+      out.push_back('{');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        appendJsonString(out, keys_[i]);
+        out.push_back(':');
+        items_[i].dumpTo(out);
+      }
+      out.push_back('}');
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(out);
+  return out;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::Null: return true;
+    case Json::Kind::Bool: return a.bool_ == b.bool_;
+    case Json::Kind::Int: return a.int_ == b.int_;
+    case Json::Kind::Double: return a.double_ == b.double_;
+    case Json::Kind::String: return a.string_ == b.string_;
+    case Json::Kind::Array: return a.items_ == b.items_;
+    case Json::Kind::Object: return a.keys_ == b.keys_ && a.items_ == b.items_;
+  }
+  return false;
+}
+
+namespace {
+
+// Recursive-descent parser. Depth is bounded to keep malformed input from
+// exhausting the stack; report files nest three or four levels deep.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  Json run() {
+    Json v = parseValue(0);
+    if (failed_) return Json();
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return Json();
+    }
+    return v;
+  }
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+
+  void fail(const std::string& what) {
+    if (!failed_ && error_ != nullptr) {
+      *error_ = what + " at offset " + std::to_string(pos_);
+    }
+    failed_ = true;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(const char* w) {
+    std::size_t len = 0;
+    while (w[len] != '\0') ++len;
+    if (text_.compare(pos_, len, w) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Json parseValue(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return Json();
+    }
+    skipWs();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return Json();
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parseObject(depth);
+    if (c == '[') return parseArray(depth);
+    if (c == '"') return parseString();
+    if (c == 't') {
+      if (consumeWord("true")) return Json(true);
+      fail("bad literal");
+      return Json();
+    }
+    if (c == 'f') {
+      if (consumeWord("false")) return Json(false);
+      fail("bad literal");
+      return Json();
+    }
+    if (c == 'n') {
+      if (consumeWord("null")) return Json(nullptr);
+      fail("bad literal");
+      return Json();
+    }
+    return parseNumber();
+  }
+
+  Json parseObject(int depth) {
+    consume('{');
+    Json obj = Json::object();
+    skipWs();
+    if (consume('}')) return obj;
+    while (true) {
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key");
+        return Json();
+      }
+      Json key = parseString();
+      if (failed_) return Json();
+      skipWs();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return Json();
+      }
+      Json value = parseValue(depth + 1);
+      if (failed_) return Json();
+      obj.set(key.asString(), std::move(value));
+      skipWs();
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      fail("expected ',' or '}'");
+      return Json();
+    }
+  }
+
+  Json parseArray(int depth) {
+    consume('[');
+    Json arr = Json::array();
+    skipWs();
+    if (consume(']')) return arr;
+    while (true) {
+      Json value = parseValue(depth + 1);
+      if (failed_) return Json();
+      arr.push(std::move(value));
+      skipWs();
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      fail("expected ',' or ']'");
+      return Json();
+    }
+  }
+
+  Json parseString() {
+    consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Json(std::move(out));
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return Json();
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+              return Json();
+            }
+          }
+          // Encode the code point as UTF-8. Surrogate pairs are not
+          // recombined (the writer never emits them; lone surrogates
+          // round-trip as their raw 3-byte encoding).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+          return Json();
+      }
+    }
+    fail("unterminated string");
+    return Json();
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    bool isDouble = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isDouble = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("expected a value");
+      return Json();
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!isDouble) {
+      std::int64_t iv = 0;
+      const auto res = std::from_chars(token.data(), token.data() + token.size(), iv);
+      if (res.ec == std::errc{} && res.ptr == token.data() + token.size()) return Json(iv);
+      isDouble = true;  // overflow: fall through to double
+    }
+    char* end = nullptr;
+    const double dv = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number");
+      return Json();
+    }
+    return Json(dv);
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text, std::string* error) {
+  Parser p(text, error);
+  Json v = p.run();
+  if (p.failed()) return Json();
+  return v;
+}
+
+}  // namespace rlslb::report

@@ -1,0 +1,98 @@
+// Dependency-free JSON value, writer, and parser for the report layer.
+//
+// The scenario subsystem serializes every experiment table, timing, and
+// parameter set as JSON-lines (see result_sink.hpp), and CI diffs those
+// files run-over-run, so the representation is built for determinism:
+//   - objects preserve insertion order (no hash-map reordering between
+//     runs or standard-library versions);
+//   - doubles print via std::to_chars shortest round-trip form, so a
+//     value written on one machine parses back bit-identical on another;
+//   - non-finite doubles serialize as null (JSON has no NaN/Inf).
+// The parser accepts exactly what the writer emits plus standard JSON
+// (whitespace, nested containers, \u escapes); it exists so tests can
+// assert write -> parse -> write stability and so tools can consume the
+// output without a third-party library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rlslb::report {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() = default;                       // null
+  Json(std::nullptr_t) {}                 // NOLINT(google-explicit-constructor)
+  Json(bool v);                           // NOLINT(google-explicit-constructor)
+  Json(int v);                            // NOLINT(google-explicit-constructor)
+  Json(std::int64_t v);                   // NOLINT(google-explicit-constructor)
+  /// Values above INT64_MAX (e.g. xor-scrambled seeds) become decimal
+  /// strings rather than silently re-signing.
+  Json(std::uint64_t v);                  // NOLINT(google-explicit-constructor)
+  Json(double v);                         // NOLINT(google-explicit-constructor)
+  Json(const char* v);                    // NOLINT(google-explicit-constructor)
+  Json(std::string v);                    // NOLINT(google-explicit-constructor)
+
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isNull() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool isObject() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] std::int64_t asInt() const;
+  /// Int or Double, widened to double.
+  [[nodiscard]] double asDouble() const;
+  [[nodiscard]] const std::string& asString() const;
+
+  /// Array/object element count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  /// Array append. Returns *this for chaining.
+  Json& push(Json v);
+  /// Object insert-or-assign, preserving first-insertion order.
+  Json& set(const std::string& key, Json v);
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Object member access; aborts when absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Array element access; aborts when out of range.
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  /// Object keys in insertion order (empty for non-objects).
+  [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Compact single-line serialization (the JSONL row format).
+  [[nodiscard]] std::string dump() const;
+
+  /// Parse a complete JSON document. On failure returns null and, when
+  /// `error` is non-null, stores a position-annotated message.
+  static Json parse(const std::string& text, std::string* error = nullptr);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;        // array elements, or object values
+  std::vector<std::string> keys_;  // parallel to items_ when Object
+
+  void dumpTo(std::string& out) const;
+};
+
+/// Append `s` to `out` as a quoted JSON string with RFC 8259 escaping
+/// (UTF-8 bytes pass through; control characters become \u00XX).
+void appendJsonString(std::string& out, const std::string& s);
+
+/// Shortest round-trip decimal form of `v` (to_chars); "null" if non-finite.
+std::string formatJsonNumber(double v);
+
+}  // namespace rlslb::report

@@ -1,0 +1,95 @@
+// ResultSink: machine-readable experiment output as JSON-lines.
+//
+// One run of the `rlslb` driver (or a standalone bench harness with
+// --out=FILE) produces one JSONL stream: a run manifest first, then a
+// small fixed vocabulary of record types per scenario. Every record is one
+// line, one JSON object, with a "type" field:
+//
+//   {"type":"manifest", ...}           run provenance: seed, scale, threads,
+//                                      git sha, compiler, host, start time
+//   {"type":"scenario_start", ...}     scenario name, paper ref, parameters
+//   {"type":"table", ...}              one experiment table (headers + rows)
+//   {"type":"timing", ...}             wall-clock measurements (machine-
+//                                      dependent by nature)
+//   {"type":"scenario_end", ...}       scenario wall-clock seconds
+//
+// Determinism contract (asserted by tests/test_scenario.cpp and relied on
+// by CI's results diff): for a fixed seed, every "scenario_start" and
+// "table" record is byte-identical across runs, thread counts, and
+// machines; all wall-clock and host-dependent data is confined to
+// "manifest", "timing", and "scenario_end" records.
+//
+// The sink is not thread-safe; scenarios run sequentially and emit tables
+// from the calling thread (replication fan-out stays below this layer).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "report/json.hpp"
+
+namespace rlslb {
+class Table;  // util/table.hpp
+}
+
+namespace rlslb::report {
+
+/// Provenance header for one driver run.
+struct RunManifest {
+  std::string tool = "rlslb";
+  std::string version;      // project version (x.y.z)
+  std::uint64_t seed = 0;
+  std::string scaleName;    // small | default | full
+  double scale = 1.0;
+  std::int64_t reps = 0;    // 0 = per-experiment default
+  int threadsRequested = 0; // the --threads knob (0 = hardware)
+  int threadsResolved = 1;  // actual pool concurrency
+  std::string gitSha;       // build-time git revision, "unknown" outside git
+  std::string compiler;     // e.g. "gcc 12.2.0"
+  std::string buildType;    // e.g. "Release"
+  std::string host;         // gethostname(), "unknown" on failure
+  std::int64_t startedUnixMs = 0;
+
+  [[nodiscard]] Json toJson() const;
+};
+
+/// Fill the environment-derived fields (version, git sha, compiler, host,
+/// start timestamp); the caller sets the run knobs.
+RunManifest makeManifest();
+
+/// The Table -> Json bridge: {"title":..., "headers":[...], "rows":[[...]]}.
+/// Cells stay the formatted strings the ASCII table prints, so the JSON is
+/// exactly as deterministic as the table itself.
+Json tableToJson(const Table& table, const std::string& title);
+
+class ResultSink {
+ public:
+  /// `out == nullptr` disables the sink: every emit is a cheap no-op, so
+  /// scenario code calls the sink unconditionally.
+  explicit ResultSink(std::ostream* out = nullptr) : out_(out) {}
+
+  [[nodiscard]] bool enabled() const { return out_ != nullptr; }
+
+  void writeManifest(const RunManifest& manifest);
+  void beginScenario(const std::string& name, const std::string& paperRef,
+                     const Json& params);
+  /// Deterministic experiment table (type "table").
+  void writeTable(const std::string& scenario, const std::string& title, const Table& table);
+  /// Wall-clock table (type "timing"): same payload shape, excluded from
+  /// the determinism contract.
+  void writeTimingTable(const std::string& scenario, const std::string& title,
+                        const Table& table);
+  void endScenario(const std::string& name, double wallSeconds);
+
+  /// Escape hatch: write an arbitrary record (must be an object; a "type"
+  /// field is required so downstream tools can dispatch).
+  void writeRecord(const Json& record);
+
+ private:
+  std::ostream* out_;
+
+  void writeLine(const Json& record);
+};
+
+}  // namespace rlslb::report

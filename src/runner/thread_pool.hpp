@@ -1,6 +1,9 @@
 // Fixed-size thread pool with chunked work distribution, used by the
 // replication harness (replication.hpp) and the ensemble layer
-// (sim/ensemble.hpp) to fan replications out across cores.
+// (sim/ensemble.hpp) to fan replications out across cores. The scenario
+// layer creates ONE pool per process (ScenarioContext::pool()) and reuses
+// it across every scenario of a driver run, so worker threads are spawned
+// once per `rlslb all`, not once per experiment.
 //
 // Design constraints, in order:
 //   - Determinism stays upstream: the pool hands out *index ranges*, never

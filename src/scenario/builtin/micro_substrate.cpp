@@ -1,0 +1,102 @@
+// micro_substrate -- substrate micro-costs, recorded into the JSON results.
+//
+// The registry-native companion to bench_engines (which needs Google
+// Benchmark and is therefore not always built): a fixed-budget loop timer
+// over the data-structure hot paths the engines are built on, so every
+// `rlslb all --out=...` run leaves per-op costs in the results file next
+// to the experiment wall-clocks CI tracks.
+//
+// The headline pair is Fenwick total() cached vs the root-prefix-sum
+// recompute it replaced: the naive engine's weighted draw consumes the
+// tree total every activation, and caching turns that O(log n) walk into
+// a load (see ds/fenwick.hpp).
+//
+// Parameters: n (tree size, default 100000 -- deliberately not a power of
+// two: prefixSum(n) touches one node per set bit of n, so a power-of-two
+// size would collapse the recompute walk to a single read and understate
+// the win), ops (per-measurement loop count, default 2e6, scaled by
+// --scale).
+#include <cstdint>
+#include <vector>
+
+#include "ds/fenwick.hpp"
+#include "ds/load_multiset.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "scenario/builtin/builtin.hpp"
+#include "util/timer.hpp"
+
+namespace rlslb::scenario::builtin {
+
+namespace {
+
+void runMicroSubstrate(ScenarioContext& ctx) {
+  const auto n = static_cast<std::size_t>(ctx.params.getInt("n", 100000));
+  const auto ops = static_cast<std::int64_t>(
+      static_cast<double>(ctx.params.getInt("ops", 2'000'000)) * ctx.scale);
+
+  Table table({"operation", "n", "ops", "ns/op"});
+  const auto measure = [&](const char* name, std::int64_t count, auto&& body) {
+    WallTimer wall;
+    body(count);
+    const double ns = wall.seconds() * 1e9 / static_cast<double>(count);
+    table.row().cell(name).cell(n).cell(count).cell(ns, 4);
+  };
+
+  ds::Fenwick<std::int64_t> tree(std::vector<std::int64_t>(n, 4));
+  rng::Xoshiro256pp eng(ctx.seed);
+  volatile std::int64_t sinkValue = 0;  // defeat dead-code elimination
+
+  measure("fenwick add (+1/-1 pair)", ops, [&](std::int64_t count) {
+    std::size_t i = 0;
+    for (std::int64_t k = 0; k < count; ++k) {
+      tree.add(i, 1);
+      tree.add(i, -1);
+      i = static_cast<std::size_t>(rng::uniformIndex(eng, n));
+    }
+  });
+
+  measure("fenwick weighted sample", ops, [&](std::int64_t count) {
+    const std::int64_t total = tree.total();
+    for (std::int64_t k = 0; k < count; ++k) {
+      const auto ticket =
+          static_cast<std::int64_t>(rng::uniformIndex(eng, static_cast<std::uint64_t>(total)));
+      sinkValue = sinkValue + static_cast<std::int64_t>(tree.upperBound(ticket));
+    }
+  });
+
+  measure("fenwick total (cached)", ops, [&](std::int64_t count) {
+    for (std::int64_t k = 0; k < count; ++k) sinkValue = sinkValue + tree.total();
+  });
+
+  measure("fenwick total (root prefix-sum recompute)", ops, [&](std::int64_t count) {
+    for (std::int64_t k = 0; k < count; ++k) sinkValue = sinkValue + tree.prefixSum(n);
+  });
+
+  measure("multiset ball move (64 levels)", ops / 4, [&](std::int64_t count) {
+    const auto fresh = [] {
+      std::vector<std::int64_t> loads;
+      for (std::int64_t i = 0; i < 64; ++i) loads.push_back(100 + i);
+      return ds::LoadMultiset::fromLoads(loads);
+    };
+    auto ms = fresh();
+    for (std::int64_t k = 0; k < count; ++k) {
+      if (ms.maxLoad() - ms.minLoad() < 2) ms = fresh();
+      ms.applyBallMove(ms.maxLoad(), ms.minLoad());
+    }
+  });
+
+  ctx.emitTimingTable(table,
+                      "[micro] substrate per-op costs (wall-clock; the cached-total row "
+                      "must be a small constant, the recompute row ~log n loads)");
+}
+
+}  // namespace
+
+void registerMicroSubstrate(ScenarioRegistry& r) {
+  r.add({"micro_substrate",
+         "substrate micro-costs: Fenwick add/sample/total (cached vs recompute), multiset move",
+         "engineering baseline (E13 companion)", runMicroSubstrate});
+}
+
+}  // namespace rlslb::scenario::builtin

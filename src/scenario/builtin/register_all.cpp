@@ -1,0 +1,21 @@
+#include "scenario/builtin/builtin.hpp"
+
+namespace rlslb::scenario {
+
+void registerBuiltinScenarios(ScenarioRegistry& registry) {
+  if (registry.find("e1_theorem1") != nullptr) return;  // idempotent
+  builtin::registerTheorem1(registry);
+  builtin::registerLowerbound(registry);
+  builtin::registerWhp(registry);
+  builtin::registerPhases(registry);
+  builtin::registerDml(registry);
+  builtin::registerBaselines(registry);
+  builtin::registerExtensions(registry);
+  builtin::registerGraphs(registry);
+  builtin::registerOpensystem(registry);
+  builtin::registerTrajectory(registry);
+  builtin::registerAblation(registry);
+  builtin::registerMicroSubstrate(registry);
+}
+
+}  // namespace rlslb::scenario

@@ -1,0 +1,53 @@
+// Shared CLI harness for the scenario drivers.
+//
+// Two kinds of binary resolve experiments through the ScenarioRegistry:
+//   - the unified driver `rlslb` (examples/rlslb.cpp) with list/run/all
+//     subcommands, and
+//   - the standalone bench_* mains, each a one-line wrapper over
+//     runStandalone() so historical invocations keep working:
+//         ./bench/bench_theorem1 --scale=small --seed=7
+//     is exactly `rlslb run e1_theorem1 --scale=small --seed=7`.
+//
+// Both accept the common knobs (--scale/--seed/--reps/--threads/--csv) plus
+// --out=FILE to stream JSONL records (report/result_sink.hpp), and bare
+// key=value tokens as scenario parameter overrides.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/cli.hpp"
+
+namespace rlslb::scenario {
+
+/// Build a ScenarioContext from the common `--key=value` knobs. Exits with
+/// code 2 on a malformed --scale. Does not check unused flags (the caller
+/// may still consume e.g. --out).
+ScenarioContext contextFromArgs(const CliArgs& args);
+
+/// Fill `ctx.params` from bare key=value tokens; exits with code 2 on a
+/// malformed token.
+void applyParamTokens(ScenarioContext& ctx, const std::vector<std::string>& tokens);
+
+/// Caller-owned holder for the --out stream and its sink (both must
+/// outlive the scenario runs). attach() with a non-empty path opens the
+/// file, wires ctx.sink, and writes the run manifest from the context's
+/// knobs; an empty path leaves the sink disabled. Returns false (with a
+/// stderr message) when the file cannot be opened.
+class ResultOutput {
+ public:
+  bool attach(const std::string& outPath, ScenarioContext& ctx);
+
+ private:
+  std::ofstream file_;
+  report::ResultSink sink_;
+};
+
+/// Entry point for the thin standalone bench_* mains: parse the common
+/// knobs + --out + key=value overrides from argv, register the built-in
+/// roster, run `scenarioName`, and return the process exit code.
+int runStandalone(int argc, char** argv, const std::string& scenarioName);
+
+}  // namespace rlslb::scenario

@@ -1,0 +1,97 @@
+#include "scenario/params.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace rlslb::scenario {
+
+bool ScenarioParams::fromTokens(const std::vector<std::string>& tokens, ScenarioParams* out,
+                                std::string* error) {
+  ScenarioParams p;
+  for (const std::string& tok : tokens) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) *error = "malformed parameter '" + tok + "' (expected key=value)";
+      return false;
+    }
+    p.values_[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  *out = std::move(p);
+  return true;
+}
+
+bool ScenarioParams::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  used_[name] = true;
+  return true;
+}
+
+std::string ScenarioParams::getString(const std::string& name, const std::string& dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  return it->second;
+}
+
+std::int64_t ScenarioParams::getInt(const std::string& name, std::int64_t dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0') {
+    RLSLB_ASSERT_MSG(errno != ERANGE, "integer parameter out of int64 range");
+    return v;
+  }
+  // Scientific shorthand ("1e6", "2.5e3"): accept iff exactly integral and
+  // representable.
+  end = nullptr;
+  const double d = std::strtod(it->second.c_str(), &end);
+  RLSLB_ASSERT_MSG(end != nullptr && *end == '\0', "malformed integer parameter value");
+  RLSLB_ASSERT_MSG(std::nearbyint(d) == d && std::fabs(d) < 9.2e18,
+                   "integer parameter is not an exact integer");
+  return static_cast<std::int64_t>(d);
+}
+
+double ScenarioParams::getDouble(const std::string& name, double dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  RLSLB_ASSERT_MSG(end != nullptr && *end == '\0', "malformed double parameter value");
+  return v;
+}
+
+bool ScenarioParams::getBool(const std::string& name, bool dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  RLSLB_ASSERT_MSG(false, "malformed boolean parameter value");
+  return dflt;
+}
+
+std::vector<std::string> ScenarioParams::unusedKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : values_) {
+    auto it = used_.find(k);
+    if (it == used_.end() || !it->second) out.push_back(k);
+  }
+  return out;
+}
+
+report::Json ScenarioParams::toJson() const {
+  report::Json j = report::Json::object();
+  for (const auto& [k, v] : values_) j.set(k, v);
+  return j;
+}
+
+}  // namespace rlslb::scenario

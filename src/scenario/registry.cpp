@@ -1,0 +1,94 @@
+#include "scenario/scenario.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace rlslb::scenario {
+
+void ScenarioContext::emitTable(const Table& table, const std::string& title) {
+  if (console != nullptr) {
+    table.print(*console, title);
+    *console << '\n';
+    if (csv) *console << "CSV <<<\n" << table.toCsv() << ">>>\n\n";
+  }
+  if (sink != nullptr) sink->writeTable(activeScenario, title, table);
+}
+
+void ScenarioContext::emitTimingTable(const Table& table, const std::string& title) {
+  if (console != nullptr) {
+    table.print(*console, title);
+    *console << '\n';
+    if (csv) *console << "CSV <<<\n" << table.toCsv() << ">>>\n\n";
+  }
+  if (sink != nullptr) sink->writeTimingTable(activeScenario, title, table);
+}
+
+void ScenarioContext::note(const std::string& text) {
+  if (console != nullptr) *console << text << '\n';
+}
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario s) {
+  RLSLB_ASSERT_MSG(!s.name.empty() && s.run != nullptr, "scenario needs a name and a body");
+  const auto [it, inserted] = byName_.emplace(s.name, std::move(s));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate scenario name: " + it->first);
+  }
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  const auto it = byName_.find(name);
+  return it == byName_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(byName_.size());
+  for (const auto& [_, s] : byName_) out.push_back(&s);  // map order = name order
+  return out;
+}
+
+void ScenarioRegistry::runOne(const std::string& name, ScenarioContext& ctx) const {
+  const Scenario* s = find(name);
+  if (s == nullptr) {
+    std::string known;
+    for (const auto& [n, _] : byName_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::out_of_range("unknown scenario '" + name + "' (known: " + known + ")");
+  }
+
+  ctx.activeScenario = s->name;
+  if (ctx.console != nullptr) {
+    *ctx.console << "==============================================================\n"
+                 << s->name << "  [" << s->paperRef << "]\n"
+                 << "reproduces: " << s->description << "\n"
+                 << "scale=" << ctx.scaleName << " seed=" << ctx.seed
+                 << " threads=" << ctx.threads << (ctx.threads == 0 ? " (hardware)" : "")
+                 << "\n==============================================================\n\n";
+  }
+  if (ctx.sink != nullptr) {
+    ctx.sink->beginScenario(s->name, s->paperRef, ctx.params.toJson());
+  }
+
+  WallTimer wall;
+  s->run(ctx);
+  const double seconds = wall.seconds();
+
+  if (ctx.sink != nullptr) ctx.sink->endScenario(s->name, seconds);
+  if (ctx.console != nullptr) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%s done in %.1f s]\n\n", s->name.c_str(), seconds);
+    *ctx.console << buf;
+  }
+  ctx.activeScenario.clear();
+}
+
+}  // namespace rlslb::scenario

@@ -10,7 +10,9 @@
 namespace rlslb {
 
 /// A table with named columns; cells are strings, with typed add helpers.
-/// Rendering aligns every column and supports plain / markdown / CSV output.
+/// Rendering aligns every column and supports plain / markdown / CSV output;
+/// the JSON bridge is report::tableToJson (report/result_sink.hpp), kept
+/// out of util/ so this layer stays dependency-free.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);
@@ -26,6 +28,7 @@ class Table {
 
   [[nodiscard]] std::size_t numRows() const { return rows_.size(); }
   [[nodiscard]] std::size_t numCols() const { return headers_.size(); }
+  [[nodiscard]] const std::string& header(std::size_t c) const { return headers_.at(c); }
   [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
 
   /// Render with space padding and a header underline.

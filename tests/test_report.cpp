@@ -1,0 +1,231 @@
+// report/: JSON value/writer/parser and the JSONL ResultSink.
+//
+// The report layer is the substrate CI diffs run-over-run, so these tests
+// pin the exact serialization: escaping, shortest-round-trip doubles,
+// insertion-ordered objects, manifest fields, and one-record-per-line
+// framing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "report/json.hpp"
+#include "report/result_sink.hpp"
+#include "util/table.hpp"
+
+namespace rlslb::report {
+namespace {
+
+// ------------------------------------------------------------- Json dump
+
+TEST(Json, ScalarDump) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(0).dump(), "0");
+  EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Json(INT64_MAX).dump(), "9223372036854775807");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::string("hi")).dump(), "\"hi\"");
+}
+
+TEST(Json, Uint64AboveInt64BecomesDecimalString) {
+  EXPECT_EQ(Json(std::uint64_t{5}).dump(), "5");
+  EXPECT_EQ(Json(UINT64_MAX).dump(), "\"18446744073709551615\"");
+}
+
+TEST(Json, DoubleDumpShortestRoundTrip) {
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(-3.25).dump(), "-3.25");
+  // Non-finite values have no JSON spelling; they degrade to null.
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("tab\tnl\ncr\r").dump(), "\"tab\\tnl\\ncr\\r\"");
+  EXPECT_EQ(Json(std::string("\x01\x1f")).dump(), "\"\\u0001\\u001f\"");
+  // UTF-8 passes through unescaped.
+  EXPECT_EQ(Json("μ=n/2").dump(), "\"μ=n/2\"");
+}
+
+TEST(Json, ContainersPreserveInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("zebra", 3);  // overwrite keeps first position
+  Json arr = Json::array();
+  arr.push(1).push("two").push(Json::object());
+  obj.set("list", arr);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":3,\"alpha\":2,\"list\":[1,\"two\",{}]}");
+  EXPECT_EQ(obj.at("alpha").asInt(), 2);
+  EXPECT_EQ(obj.at("list").at(1).asString(), "two");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+// ------------------------------------------------------------ round trip
+
+void expectRoundTrip(const Json& v) {
+  std::string error;
+  const Json reparsed = Json::parse(v.dump(), &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(reparsed, v) << v.dump();
+  EXPECT_EQ(reparsed.dump(), v.dump());
+}
+
+TEST(Json, RoundTripEveryValueType) {
+  expectRoundTrip(Json());
+  expectRoundTrip(Json(true));
+  expectRoundTrip(Json(false));
+  expectRoundTrip(Json(std::int64_t{-123456789012345}));
+  expectRoundTrip(Json(0.5));
+  expectRoundTrip(Json(1e-9));
+  expectRoundTrip(Json(6.02214076e23));
+  expectRoundTrip(Json("plain"));
+  expectRoundTrip(Json("esc \" \\ \n \t \x01 μ"));
+
+  Json nested = Json::object();
+  nested.set("ints", Json::array().push(1).push(-2).push(3));
+  nested.set("mix", Json::array().push(Json()).push(true).push(1.25).push("s"));
+  Json inner = Json::object();
+  inner.set("k", "v");
+  nested.set("obj", inner);
+  expectRoundTrip(nested);
+}
+
+TEST(Json, ParseStandardJson) {
+  std::string error;
+  const Json v = Json::parse(" { \"a\" : [ 1 , 2.5 , null ] , \"b\" : \"x\\u0041y\" } ", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(v.at("a").at(0).asInt(), 1);
+  EXPECT_DOUBLE_EQ(v.at("a").at(1).asDouble(), 2.5);
+  EXPECT_TRUE(v.at("a").at(2).isNull());
+  EXPECT_EQ(v.at("b").asString(), "xAy");
+}
+
+TEST(Json, ParseErrors) {
+  std::string error;
+  Json::parse("{\"a\":1", &error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  Json::parse("[1,2] trailing", &error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  Json::parse("nope", &error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  Json::parse("\"unterminated", &error);
+  EXPECT_FALSE(error.empty());
+}
+
+// ------------------------------------------------------- Table bridge
+
+TEST(TableJson, BridgePreservesCellsVerbatim) {
+  Table t({"name", "value"});
+  t.row().cell("pi, ish").cell(3.14159, 3);
+  t.row().cell("n").cell(std::int64_t{1024});
+  const Json j = tableToJson(t, "demo");
+  EXPECT_EQ(j.at("title").asString(), "demo");
+  EXPECT_EQ(j.at("headers").size(), 2u);
+  EXPECT_EQ(j.at("headers").at(0).asString(), "name");
+  EXPECT_EQ(j.at("rows").size(), 2u);
+  // Cells are the formatted strings the ASCII table prints.
+  EXPECT_EQ(j.at("rows").at(0).at(0).asString(), "pi, ish");
+  EXPECT_EQ(j.at("rows").at(0).at(1).asString(), t.at(0, 1));
+  // Integer cells keep the table's thousands grouping: the JSON mirrors
+  // the printed table cell-for-cell.
+  EXPECT_EQ(j.at("rows").at(1).at(1).asString(), t.at(1, 1));
+  EXPECT_EQ(t.at(1, 1), "1,024");
+}
+
+// ------------------------------------------------------------- manifest
+
+TEST(Manifest, EnvironmentFieldsFilled) {
+  const RunManifest m = makeManifest();
+  EXPECT_FALSE(m.version.empty());
+  EXPECT_FALSE(m.gitSha.empty());
+  EXPECT_FALSE(m.compiler.empty());
+  EXPECT_FALSE(m.host.empty());
+  EXPECT_GT(m.startedUnixMs, 0);
+
+  const Json j = m.toJson();
+  EXPECT_EQ(j.at("type").asString(), "manifest");
+  for (const char* key : {"tool", "version", "seed", "scale", "scale_factor", "reps",
+                          "threads_requested", "threads_resolved", "git_sha", "compiler",
+                          "build_type", "host", "started_unix_ms"}) {
+    EXPECT_NE(j.find(key), nullptr) << "manifest missing " << key;
+  }
+}
+
+// ------------------------------------------------------------- ResultSink
+
+TEST(ResultSink, DisabledSinkIsNoop) {
+  ResultSink sink;  // no stream
+  EXPECT_FALSE(sink.enabled());
+  Table t({"a"});
+  t.row().cell(1);
+  sink.writeManifest(makeManifest());
+  sink.writeTable("s", "title", t);
+  sink.endScenario("s", 0.1);  // must not crash
+}
+
+TEST(ResultSink, JsonlFramingOneParseableRecordPerLine) {
+  std::ostringstream out;
+  ResultSink sink(&out);
+  EXPECT_TRUE(sink.enabled());
+
+  RunManifest m = makeManifest();
+  m.seed = 7;
+  sink.writeManifest(m);
+  Json params = Json::object();
+  params.set("n", "64");
+  sink.beginScenario("demo", "Theorem 1", params);
+  Table t({"x", "note"});
+  t.row().cell(std::int64_t{1}).cell("multi\nline \"quoted\"");
+  sink.writeTable("demo", "t1", t);
+  sink.writeTimingTable("demo", "wall", t);
+  sink.endScenario("demo", 1.5);
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::vector<std::string> types;
+  while (std::getline(in, line)) {
+    std::string error;
+    const Json rec = Json::parse(line, &error);
+    ASSERT_TRUE(error.empty()) << error << " in line: " << line;
+    ASSERT_TRUE(rec.isObject());
+    types.push_back(rec.at("type").asString());
+  }
+  const std::vector<std::string> expected = {"manifest", "scenario_start", "table", "timing",
+                                             "scenario_end"};
+  EXPECT_EQ(types, expected);
+}
+
+TEST(ResultSink, RecordContents) {
+  std::ostringstream out;
+  ResultSink sink(&out);
+  Table t({"h"});
+  t.row().cell("v");
+  sink.writeTable("scn", "the title", t);
+  sink.endScenario("scn", 2.25);
+
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  const Json table = Json::parse(line);
+  EXPECT_EQ(table.at("scenario").asString(), "scn");
+  EXPECT_EQ(table.at("title").asString(), "the title");
+  EXPECT_EQ(table.at("headers").at(0).asString(), "h");
+  EXPECT_EQ(table.at("rows").at(0).at(0).asString(), "v");
+  std::getline(in, line);
+  const Json end = Json::parse(line);
+  EXPECT_EQ(end.at("scenario").asString(), "scn");
+  EXPECT_DOUBLE_EQ(end.at("wall_s").asDouble(), 2.25);
+}
+
+}  // namespace
+}  // namespace rlslb::report

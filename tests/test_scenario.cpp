@@ -1,0 +1,218 @@
+// scenario/: registry semantics, parameter spec layer, and the JSONL
+// determinism contract (fixed seed => byte-identical deterministic records
+// across repeated runs and thread counts).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "config/generators.hpp"
+#include "core/rls.hpp"
+#include "report/json.hpp"
+#include "scenario/harness.hpp"
+#include "scenario/scenario.hpp"
+
+namespace rlslb::scenario {
+namespace {
+
+ScenarioParams paramsOf(const std::vector<std::string>& tokens) {
+  ScenarioParams p;
+  std::string error;
+  EXPECT_TRUE(ScenarioParams::fromTokens(tokens, &p, &error)) << error;
+  return p;
+}
+
+// ------------------------------------------------------------- params
+
+TEST(ScenarioParams, TypedGetters) {
+  const ScenarioParams p =
+      paramsOf({"n=1024", "big=1e6", "rate=0.25", "label=hello", "flag=true"});
+  EXPECT_EQ(p.getInt("n", 0), 1024);
+  EXPECT_EQ(p.getInt("big", 0), 1'000'000);  // scientific shorthand
+  EXPECT_DOUBLE_EQ(p.getDouble("rate", 0.0), 0.25);
+  EXPECT_EQ(p.getString("label", ""), "hello");
+  EXPECT_TRUE(p.getBool("flag", false));
+  // Defaults for absent keys.
+  EXPECT_EQ(p.getInt("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(p.getDouble("absent", 1.5), 1.5);
+  EXPECT_FALSE(p.has("absent"));
+}
+
+TEST(ScenarioParams, MalformedTokensRejected) {
+  ScenarioParams p;
+  std::string error;
+  EXPECT_FALSE(ScenarioParams::fromTokens({"novalue"}, &p, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ScenarioParams::fromTokens({"=5"}, &p, &error));
+}
+
+TEST(ScenarioParams, UnusedKeySweep) {
+  const ScenarioParams p = paramsOf({"used=1", "typo=2"});
+  EXPECT_EQ(p.getInt("used", 0), 1);
+  const auto unused = p.unusedKeys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ScenarioParams, ToJsonIsSortedAndRaw) {
+  const ScenarioParams p = paramsOf({"b=2", "a=1e6"});
+  EXPECT_EQ(p.toJson().dump(), "{\"a\":\"1e6\",\"b\":\"2\"}");
+}
+
+// ------------------------------------------------------------- registry
+
+Scenario trivialScenario(const std::string& name) {
+  return {name, "desc", "ref", [](ScenarioContext&) {}};
+}
+
+TEST(ScenarioRegistry, AddFindList) {
+  ScenarioRegistry r;
+  r.add(trivialScenario("beta"));
+  r.add(trivialScenario("alpha"));
+  ASSERT_NE(r.find("alpha"), nullptr);
+  EXPECT_EQ(r.find("alpha")->description, "desc");
+  EXPECT_EQ(r.find("nope"), nullptr);
+  const auto all = r.list();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->name, "alpha");  // name-sorted
+  EXPECT_EQ(all[1]->name, "beta");
+}
+
+TEST(ScenarioRegistry, DuplicateNameThrows) {
+  ScenarioRegistry r;
+  r.add(trivialScenario("x"));
+  EXPECT_THROW(r.add(trivialScenario("x")), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, RunOneUnknownNameThrowsWithRoster) {
+  ScenarioRegistry r;
+  r.add(trivialScenario("known"));
+  ScenarioContext ctx;
+  ctx.console = nullptr;
+  try {
+    r.runOne("unknown", ctx);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown scenario 'unknown'"), std::string::npos);
+    EXPECT_NE(what.find("known"), std::string::npos);  // lists the roster
+  }
+}
+
+TEST(ScenarioRegistry, BuiltinRosterAtLeastElevenAndIdempotent) {
+  ScenarioRegistry r;
+  registerBuiltinScenarios(r);
+  EXPECT_GE(r.size(), 11u);
+  EXPECT_NE(r.find("e1_theorem1"), nullptr);
+  const std::size_t before = r.size();
+  registerBuiltinScenarios(r);  // second call must be a no-op
+  EXPECT_EQ(r.size(), before);
+  for (const Scenario* s : r.list()) {
+    EXPECT_FALSE(s->description.empty()) << s->name;
+    EXPECT_FALSE(s->paperRef.empty()) << s->name;
+  }
+}
+
+// ------------------------------------------------------------- context
+
+TEST(ScenarioContext, ScalingHelpers) {
+  ScenarioContext ctx;
+  ctx.scale = 0.5;
+  EXPECT_EQ(ctx.repsOr(30), 15);
+  ctx.reps = 4;
+  EXPECT_EQ(ctx.repsOr(30), 4);
+  EXPECT_EQ(ctx.sized(1024, 2), 512);
+  EXPECT_EQ(ctx.sized(1, 2), 2);  // quantum floor
+}
+
+// --------------------------------------------------- determinism contract
+
+/// JSONL minus the wall-clock record types ("manifest", "timing",
+/// "scenario_end"): the part of the stream the contract says is
+/// byte-identical.
+std::string deterministicRecords(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  std::string line;
+  std::string out;
+  while (std::getline(in, line)) {
+    std::string error;
+    const report::Json rec = report::Json::parse(line, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    const std::string& type = rec.at("type").asString();
+    if (type == "manifest" || type == "timing" || type == "scenario_end") continue;
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string runToJsonl(const ScenarioRegistry& r, const std::string& name, std::uint64_t seed,
+                       int threads, const std::vector<std::string>& paramTokens) {
+  std::ostringstream out;
+  report::ResultSink sink(&out);
+  ScenarioContext ctx;
+  ctx.seed = seed;
+  ctx.threads = threads;
+  ctx.reps = 4;
+  ctx.sink = &sink;
+  ctx.console = nullptr;
+  std::string error;
+  EXPECT_TRUE(ScenarioParams::fromTokens(paramTokens, &ctx.params, &error)) << error;
+  r.runOne(name, ctx);
+  EXPECT_TRUE(ctx.params.unusedKeys().empty());
+  return out.str();
+}
+
+TEST(ScenarioDeterminism, RealScenarioByteIdenticalAcrossRunsAndThreads) {
+  ScenarioRegistry r;
+  registerBuiltinScenarios(r);
+  // Tiny e15 run: params shrink it to milliseconds and double as the
+  // param-override test (n and horizon must be honored).
+  const std::vector<std::string> params = {"n=32", "ratio=8", "horizon=3", "dt=0.5"};
+  const std::string a = deterministicRecords(runToJsonl(r, "e15_trajectory", 99, 1, params));
+  const std::string b = deterministicRecords(runToJsonl(r, "e15_trajectory", 99, 1, params));
+  const std::string c = deterministicRecords(runToJsonl(r, "e15_trajectory", 99, 3, params));
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "same seed, same thread count";
+  EXPECT_EQ(a, c) << "same seed, different thread count";
+
+  // The overrides really took: the table title embeds n=32, and a
+  // different seed changes the records.
+  EXPECT_NE(a.find("n=32"), std::string::npos);
+  const std::string d = deterministicRecords(runToJsonl(r, "e15_trajectory", 100, 1, params));
+  EXPECT_NE(a, d) << "different seed must change the sampled tables";
+}
+
+TEST(ScenarioDeterminism, SinkRecordsTaggedWithScenarioName) {
+  ScenarioRegistry r;
+  r.add({"tagcheck", "d", "p", [](ScenarioContext& ctx) {
+           Table t({"v"});
+           t.row().cell(core::balancingTime(config::allInOne(16, 64), {.seed = ctx.seed}));
+           ctx.emitTable(t, "tbl");
+         }});
+  const std::string jsonl = runToJsonl(r, "tagcheck", 1, 1, {});
+  std::istringstream in(jsonl);
+  std::string line;
+  bool sawStart = false;
+  bool sawTable = false;
+  bool sawEnd = false;
+  while (std::getline(in, line)) {
+    const report::Json rec = report::Json::parse(line);
+    const std::string& type = rec.at("type").asString();
+    if (type == "scenario_start") sawStart = true;
+    if (type == "table") {
+      sawTable = true;
+      EXPECT_EQ(rec.at("scenario").asString(), "tagcheck");
+    }
+    if (type == "scenario_end") {
+      sawEnd = true;
+      EXPECT_GE(rec.at("wall_s").asDouble(), 0.0);
+    }
+  }
+  EXPECT_TRUE(sawStart && sawTable && sawEnd);
+}
+
+}  // namespace
+}  // namespace rlslb::scenario
