@@ -3,6 +3,10 @@
 //   rlslb list                         enumerate registered scenarios
 //   rlslb run <name...> [flags] [k=v]  run one or more scenarios by name
 //   rlslb all [flags] [k=v]            run the whole roster, name order
+//   rlslb serve <kind...> [flags] [k=v]  serving-subsystem sugar:
+//                                      `serve poisson` == `run serve_poisson`
+//                                      (kinds: poisson bursty diurnal
+//                                      adversarial; see docs/EXPERIMENTS.md)
 //
 // Flags (any subcommand that runs scenarios):
 //   --scale=small|default|full   coarse size knob (default ~ minutes total)
@@ -35,8 +39,11 @@ int usage(const char* argv0) {
                "usage: %s list\n"
                "       %s run <scenario...> [--scale=..] [--seed=..] [--reps=..]\n"
                "             [--threads=..] [--csv] [--out=FILE] [key=value...]\n"
-               "       %s all [flags] [key=value...]\n",
-               argv0, argv0, argv0);
+               "       %s all [flags] [key=value...]\n"
+               "       %s serve <kind...> [flags] [key=value...]\n"
+               "              kinds: poisson bursty diurnal adversarial\n"
+               "              (shorthand for `run serve_<kind>`)\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -60,8 +67,16 @@ int main(int argc, char** argv) {
     }
   }
   if (words.empty()) return usage(argv[0]);
-  const std::string command = words.front();
-  const std::vector<std::string> names(words.begin() + 1, words.end());
+  std::string command = words.front();
+  std::vector<std::string> names(words.begin() + 1, words.end());
+  if (command == "serve") {
+    // Sugar for the serving roster: `serve poisson` -> `run serve_poisson`.
+    // Unknown kinds fall through to the registry's unknown-name error,
+    // which lists the roster.
+    if (names.empty()) return usage(argv[0]);
+    for (std::string& name : names) name = "serve_" + name;
+    command = "run";
+  }
 
   std::vector<const char*> flagPtrs;
   flagPtrs.reserve(flagStrings.size());

@@ -6,10 +6,11 @@ CI runs `rlslb all --scale=small --out=results.jsonl` and calls
     scripts/compare_results.py results.jsonl BENCH_baseline.json
 
 The baseline stores per-scenario wall-clock seconds (the "scenario_end"
-records; schema in docs/EXPERIMENTS.md). Because CI machines and the
-machine that produced the baseline differ in speed, absolute wall-clocks
-are not comparable; instead the check normalizes by the run's median
-speed ratio:
+records) and, for the serving scenarios, per-scenario events/sec (the
+"throughput" records; schema in docs/EXPERIMENTS.md). Because CI machines
+and the machine that produced the baseline differ in speed, absolute
+numbers are not comparable; instead the check normalizes by the run's
+median speed ratio over the wall-clock scenarios:
 
     ratio_i = current_i / baseline_i          (per scenario)
     speed   = median(ratio_i)                 (machine-speed factor)
@@ -17,10 +18,17 @@ speed ratio:
 
 i.e. a scenario fails when it regressed >20% relative to how the rest of
 the suite moved. Scenarios faster than --min-wall in the baseline are
-skipped (too noisy to gate on). Limitation: a *uniform* slowdown across
-every scenario is indistinguishable from a slower machine and will not
-trip the gate; the uploaded artifact keeps the absolute numbers for
-human trend review.
+skipped for the *wall-clock* gate (too noisy); the serving scenarios are
+still gated through their throughput metric, which uses the same machine
+normalization inverted and a wider tolerance (the loops measure
+sub-second windows):
+
+    slowdown_i = baseline_eps_i / current_eps_i
+    fail if slowdown_i > speed * (1 + throughput_tolerance)
+
+Limitation: a *uniform* slowdown across every scenario is
+indistinguishable from a slower machine and will not trip either gate;
+the uploaded artifact keeps the absolute numbers for human trend review.
 
 Regenerate the baseline after an intentional perf change:
 
@@ -33,9 +41,10 @@ import statistics
 import sys
 
 
-def load_wall_clocks(jsonl_path):
-    """scenario -> wall seconds from the scenario_end records."""
+def load_metrics(jsonl_path):
+    """(scenario -> wall seconds, scenario -> events/sec) from the run."""
     walls = {}
+    throughput = {}
     with open(jsonl_path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -47,9 +56,11 @@ def load_wall_clocks(jsonl_path):
                 sys.exit(f"{jsonl_path}:{lineno}: not valid JSON: {e}")
             if rec.get("type") == "scenario_end":
                 walls[rec["scenario"]] = float(rec["wall_s"])
+            elif rec.get("type") == "throughput":
+                throughput[rec["scenario"]] = float(rec["events_per_sec"])
     if not walls:
         sys.exit(f"{jsonl_path}: no scenario_end records (was the run aborted?)")
-    return walls
+    return walls, throughput
 
 
 def main():
@@ -63,28 +74,38 @@ def main():
                     help="allowed relative regression (default 0.20 = 20%%)")
     ap.add_argument("--min-wall", type=float, default=0.5,
                     help="skip scenarios below this baseline wall-clock in "
-                         "seconds (default 0.5)")
+                         "seconds for the wall-clock gate (default 0.5)")
+    ap.add_argument("--throughput-tolerance", type=float, default=0.35,
+                    help="allowed machine-normalized events/sec regression "
+                         "(default 0.35; wider than --tolerance because the "
+                         "serving loops measure sub-second windows)")
     args = ap.parse_args()
 
-    walls = load_wall_clocks(args.results)
+    walls, throughput = load_metrics(args.results)
 
     if args.write_baseline:
         payload = {
-            "comment": "per-scenario wall-clock baseline for scripts/compare_results.py; "
-                       "regenerate with --write-baseline after intentional perf changes",
+            "comment": "per-scenario wall-clock + events/sec baseline for "
+                       "scripts/compare_results.py; regenerate with "
+                       "--write-baseline after intentional perf changes",
             "flags": "rlslb all --scale=small",
             "scenarios": {name: round(w, 4) for name, w in sorted(walls.items())},
+            "throughput": {name: round(eps, 1)
+                           for name, eps in sorted(throughput.items())},
         }
         with open(args.write_baseline, "w", encoding="utf-8") as f:
             json.dump(payload, f, indent=2)
             f.write("\n")
-        print(f"wrote {args.write_baseline} with {len(walls)} scenarios")
+        print(f"wrote {args.write_baseline} with {len(walls)} scenarios "
+              f"({len(throughput)} with throughput)")
         return
 
     if not args.baseline:
         sys.exit("either a baseline to compare against or --write-baseline is required")
     with open(args.baseline, encoding="utf-8") as f:
-        baseline = json.load(f)["scenarios"]
+        baseline_doc = json.load(f)
+    baseline = baseline_doc["scenarios"]
+    baseline_throughput = baseline_doc.get("throughput", {})
 
     missing = sorted(set(baseline) - set(walls))
     if missing:
@@ -97,7 +118,8 @@ def main():
              if n in baseline and baseline[n] >= args.min_wall}
     skipped = sorted(n for n in walls if n in baseline and baseline[n] < args.min_wall)
     if skipped:
-        print(f"note: below --min-wall={args.min_wall}s in the baseline, not gated: {skipped}")
+        print(f"note: below --min-wall={args.min_wall}s in the baseline, "
+              f"wall-clock not gated: {skipped}")
     if not gated:
         sys.exit("FAIL: no scenario exceeds --min-wall; the baseline is too small to gate on")
 
@@ -105,7 +127,7 @@ def main():
     speed = statistics.median(ratios.values())
     limit = speed * (1.0 + args.tolerance)
 
-    print(f"machine-speed factor (median ratio): {speed:.3f}; "
+    print(f"machine-speed factor (median wall ratio): {speed:.3f}; "
           f"per-scenario limit: {limit:.3f}x baseline")
     print(f"{'scenario':24} {'baseline_s':>10} {'current_s':>10} {'ratio':>7} "
           f"{'vs median':>9}  verdict")
@@ -120,9 +142,37 @@ def main():
         print(f"{name:24} {baseline[name]:10.3f} {walls[name]:10.3f} {ratio:7.3f} "
               f"{rel:9.3f}  {verdict}")
 
+    # Throughput gate (serving scenarios): a drop in events/sec beyond what
+    # the machine-speed factor explains is a regression, regardless of the
+    # scenario's absolute wall-clock.
+    throughput_missing = sorted(set(baseline_throughput) - set(throughput))
+    if throughput_missing:
+        sys.exit("FAIL: scenarios with baseline throughput but no throughput "
+                 f"record in the run: {throughput_missing}")
+    if baseline_throughput:
+        thr_limit = speed * (1.0 + args.throughput_tolerance)
+        print(f"throughput limit: {thr_limit:.3f}x baseline slowdown "
+              f"(tolerance {args.throughput_tolerance:.0%})")
+        print(f"{'scenario':24} {'base_ev/s':>12} {'cur_ev/s':>12} {'slowdown':>9} "
+              f"{'vs median':>9}  verdict")
+        for name in sorted(baseline_throughput):
+            if throughput[name] <= 0:
+                failures.append(name)
+                print(f"{name:24} {baseline_throughput[name]:12.0f} "
+                      f"{throughput[name]:12.0f} {'inf':>9} {'inf':>9}  REGRESSION")
+                continue
+            slowdown = baseline_throughput[name] / throughput[name]
+            rel = slowdown / speed
+            verdict = "ok"
+            if slowdown > thr_limit:
+                verdict = "REGRESSION"
+                failures.append(name)
+            print(f"{name:24} {baseline_throughput[name]:12.0f} "
+                  f"{throughput[name]:12.0f} {slowdown:9.3f} {rel:9.3f}  {verdict}")
+
     if failures:
-        sys.exit(f"FAIL: wall-clock regression >{args.tolerance:.0%} vs baseline "
-                 f"(machine-normalized) in: {failures}")
+        sys.exit(f"FAIL: regression >{args.tolerance:.0%} vs baseline "
+                 f"(machine-normalized) in: {sorted(set(failures))}")
     print("OK: no scenario regressed beyond the tolerance")
 
 

@@ -149,6 +149,17 @@ void ResultSink::writeTimingTable(const std::string& scenario, const std::string
   writeLine(rec);
 }
 
+void ResultSink::writeThroughput(const std::string& scenario, std::int64_t events,
+                                 double eventsPerSec) {
+  if (out_ == nullptr) return;
+  Json j = Json::object();
+  j.set("type", "throughput");
+  j.set("scenario", scenario);
+  j.set("events", events);
+  j.set("events_per_sec", eventsPerSec);
+  writeLine(j);
+}
+
 void ResultSink::endScenario(const std::string& name, double wallSeconds) {
   if (out_ == nullptr) return;
   Json j = Json::object();

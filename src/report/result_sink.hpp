@@ -11,13 +11,15 @@
 //   {"type":"table", ...}              one experiment table (headers + rows)
 //   {"type":"timing", ...}             wall-clock measurements (machine-
 //                                      dependent by nature)
+//   {"type":"throughput", ...}         scenario events/sec (the serving
+//                                      scenarios' CI-gated rate metric)
 //   {"type":"scenario_end", ...}       scenario wall-clock seconds
 //
 // Determinism contract (asserted by tests/test_scenario.cpp and relied on
 // by CI's results diff): for a fixed seed, every "scenario_start" and
 // "table" record is byte-identical across runs, thread counts, and
 // machines; all wall-clock and host-dependent data is confined to
-// "manifest", "timing", and "scenario_end" records.
+// "manifest", "timing", "throughput", and "scenario_end" records.
 //
 // The sink is not thread-safe; scenarios run sequentially and emit tables
 // from the calling thread (replication fan-out stays below this layer).
@@ -80,6 +82,11 @@ class ResultSink {
   /// the determinism contract.
   void writeTimingTable(const std::string& scenario, const std::string& title,
                         const Table& table);
+  /// Rate metric (type "throughput"): the serving scenarios' events/sec,
+  /// gated by scripts/compare_results.py next to the scenario wall-clocks.
+  /// Wall-clock derived, hence excluded from the determinism contract.
+  void writeThroughput(const std::string& scenario, std::int64_t events,
+                       double eventsPerSec);
   void endScenario(const std::string& name, double wallSeconds);
 
   /// Escape hatch: write an arbitrary record (must be an object; a "type"

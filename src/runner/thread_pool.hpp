@@ -62,8 +62,17 @@ class ThreadPool {
   /// across the workers and the calling thread. Blocks until all claimed
   /// work has finished. If any body throws, the first exception is
   /// rethrown here (exactly one, regardless of how many bodies threw) and
-  /// unclaimed work is dropped. Not reentrant: body must not call back
-  /// into parallelFor on the same pool.
+  /// unclaimed work is dropped.
+  ///
+  /// NOT reentrant and NOT concurrently callable: the pool has a single
+  /// job slot, so a body that calls back into parallelFor on the same pool
+  /// (nested parallelism), or a second thread dispatching while a job is
+  /// in flight, would corrupt the slot and deadlock. Debug builds detect
+  /// both and abort with a diagnostic instead (see the ROADMAP note: a
+  /// workload that wants nested parallelism needs a work-stealing or
+  /// task-graph layer, not nested pools). The inline serial path of a
+  /// 1-thread pool has no job slot and therefore no such hazard; it is
+  /// exempt from the check.
   void parallelFor(std::int64_t count, const std::function<void(std::int64_t)>& body,
                    CancellationToken* token = nullptr);
 
@@ -84,6 +93,9 @@ class ThreadPool {
   CancellationToken* token_ = nullptr;
   std::atomic<std::int64_t> next_{0};
   std::atomic<bool> abort_{false};
+#ifndef NDEBUG
+  std::atomic<bool> jobInFlight_{false};  // reentrancy/concurrent-call detector
+#endif
   std::exception_ptr error_;
   std::mutex errorMutex_;
 

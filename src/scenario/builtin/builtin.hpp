@@ -36,5 +36,6 @@ void registerOpensystem(ScenarioRegistry& r);     // e14_opensystem
 void registerTrajectory(ScenarioRegistry& r);     // e15_trajectory
 void registerAblation(ScenarioRegistry& r);       // ablation
 void registerMicroSubstrate(ScenarioRegistry& r); // micro_substrate
+void registerServe(ScenarioRegistry& r);          // serve_poisson/bursty/diurnal/adversarial
 
 }  // namespace rlslb::scenario::builtin

@@ -15,8 +15,10 @@
 // two: prefixSum(n) touches one node per set bit of n, so a power-of-two
 // size would collapse the recompute walk to a single read and understate
 // the win), ops (per-measurement loop count, default 2e6, scaled by
-// --scale).
+// --scale), jump_levels (distinct loads kept in play for the jump-step
+// rows, default 512 -- the level-index-vs-scan gap grows with it).
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ds/fenwick.hpp"
@@ -24,6 +26,7 @@
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256pp.hpp"
 #include "scenario/builtin/builtin.hpp"
+#include "sim/jump_engine.hpp"
 #include "util/timer.hpp"
 
 namespace rlslb::scenario::builtin {
@@ -86,9 +89,54 @@ void runMicroSubstrate(ScenarioContext& ctx) {
     }
   });
 
+  // Jump-engine step cost, before/after the incremental level index
+  // (ROADMAP open item: the O(L) per-event level-weight rebuild). A
+  // staircase start keeps L = jump_levels distinct loads in play, the
+  // regime where the rebuild hurt; the engine is re-created whenever the
+  // chain absorbs.
+  const auto jumpLevels = ctx.params.getInt("jump_levels", 512);
+  const auto staircase = [jumpLevels] {
+    std::vector<std::int64_t> loads;
+    for (std::int64_t i = 0; i < jumpLevels; ++i) loads.push_back(i);
+    return ds::LoadMultiset::fromLoads(loads);
+  };
+  const auto measureJump = [&](const char* label, bool useIndex) {
+    measure(label, ops / 16, [&](std::int64_t count) {
+      std::uint64_t seed = ctx.seed;
+      // Both rows pay one identical engine construction (the ctor builds
+      // the index for this config either way) per refresh, amortized over
+      // jump_levels steps; disableLevelIndex before the first step is
+      // O(1) (the multiset is still fresh), so the refresh overhead
+      // cancels out of the row comparison.
+      const auto fresh = [&] {
+        auto engine = std::make_unique<sim::JumpEngine>(staircase(), ++seed);
+        if (useIndex) {
+          engine->enableLevelIndex();
+        } else {
+          engine->disableLevelIndex();
+        }
+        return engine;
+      };
+      auto engine = fresh();
+      std::int64_t sinceFresh = 0;
+      for (std::int64_t k = 0; k < count; ++k) {
+        // Refresh every ~jump_levels steps (and on absorption) so the
+        // level count stays near its initial value: the measurement targets
+        // the many-levels regime where the O(L) rebuild hurt.
+        if (++sinceFresh >= jumpLevels || !engine->step()) {
+          engine = fresh();
+          sinceFresh = 0;
+        }
+      }
+    });
+  };
+  measureJump("jump step (incremental level index, O(log D))", true);
+  measureJump("jump step (O(L) scan rebuild)", false);
+
   ctx.emitTimingTable(table,
                       "[micro] substrate per-op costs (wall-clock; the cached-total row "
-                      "must be a small constant, the recompute row ~log n loads)");
+                      "must be a small constant, the recompute row ~log n loads, and the "
+                      "indexed jump step must beat the scan rebuild at high level counts)");
 }
 
 }  // namespace

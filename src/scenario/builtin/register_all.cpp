@@ -16,6 +16,7 @@ void registerBuiltinScenarios(ScenarioRegistry& registry) {
   builtin::registerTrajectory(registry);
   builtin::registerAblation(registry);
   builtin::registerMicroSubstrate(registry);
+  builtin::registerServe(registry);
 }
 
 }  // namespace rlslb::scenario

@@ -1,0 +1,244 @@
+// serve_* -- the online serving subsystem scenarios.
+//
+// Each scenario streams one workload trace (workload/generators.hpp)
+// through the incremental OnlineAllocator under the sharded event loop
+// (serve/event_loop.hpp) and reports:
+//   - a deterministic gap trajectory (checkpoint epochs) and a summary
+//     table with migration counts and the balance gap against the paper's
+//     closed-system floor (gap 1 for unit weights; the heaviest ball for
+//     weighted traffic) -- byte-identical for a fixed seed across runs,
+//     thread counts, and shard counts;
+//   - a timing table plus a "throughput" JSONL record (events/sec of the
+//     decision+apply+repair loop), which CI gates via
+//     scripts/compare_results.py next to the wall-clock trajectory.
+//
+// Shared params: n (bins), events (trace length), d (arrival choices),
+// shards, epoch (events per snapshot), repair (repair moves per epoch),
+// lambda (arrivals/bin/time), mu (departure rate), resample (RLS clock
+// rate), weight (background ball weight), record=FILE (tee the trace to
+// JSONL), trace=FILE (replay a recorded JSONL trace instead of
+// generating). Kind-specific params are listed at each builder.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/splitmix64.hpp"
+#include "scenario/builtin/builtin.hpp"
+#include "util/assert.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/online_allocator.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace_io.hpp"
+
+namespace rlslb::scenario::builtin {
+
+namespace {
+
+workload::OpenTraceOptions baseTraceOptions(ScenarioContext& ctx, std::int64_t bins,
+                                            std::int64_t events) {
+  workload::OpenTraceOptions o;
+  o.bins = bins;
+  o.arrivalRatePerBin = ctx.params.getDouble("lambda", 1.0);
+  o.departureRate = ctx.params.getDouble("mu", 0.125);
+  o.resampleRate = ctx.params.getDouble("resample", 1.0);
+  o.ballWeight = ctx.params.getInt("weight", 1);
+  o.maxEvents = events;
+  return o;
+}
+
+std::unique_ptr<workload::TraceGenerator> buildTrace(ScenarioContext& ctx,
+                                                     const std::string& kind,
+                                                     std::int64_t bins, std::int64_t events,
+                                                     std::uint64_t seed) {
+  const workload::OpenTraceOptions base = baseTraceOptions(ctx, bins, events);
+  if (kind == "poisson") {
+    return std::make_unique<workload::PoissonTrace>(base, seed);
+  }
+  if (kind == "bursty") {
+    workload::BurstyTraceOptions o;
+    o.base = base;
+    o.burstRateFactor = ctx.params.getDouble("burst_factor", 8.0);
+    o.calmToBurstRate = ctx.params.getDouble("calm_to_burst", 0.05);
+    o.burstToCalmRate = ctx.params.getDouble("burst_to_calm", 0.5);
+    return std::make_unique<workload::BurstyTrace>(o, seed);
+  }
+  if (kind == "diurnal") {
+    workload::DiurnalTraceOptions o;
+    o.base = base;
+    o.amplitude = ctx.params.getDouble("amplitude", 0.8);
+    o.period = ctx.params.getDouble("period", 64.0);
+    return std::make_unique<workload::DiurnalTrace>(o, seed);
+  }
+  RLSLB_ASSERT(kind == "adversarial");
+  workload::HotspotTraceOptions o;
+  o.base = base;
+  o.burstPeriod = ctx.params.getDouble("burst_period", 16.0);
+  o.burstSize = ctx.params.getInt("burst_size", 32);
+  o.hotWeight = ctx.params.getInt("hot_weight", 8);
+  return std::make_unique<workload::HotspotTrace>(o, seed);
+}
+
+void runServe(ScenarioContext& ctx, const std::string& kind) {
+  const std::int64_t n = ctx.params.getInt("n", ctx.sized(256));
+  std::int64_t events = ctx.params.getInt("events", ctx.sized(6'000'000));
+  serve::AllocatorOptions allocOptions;
+  allocOptions.bins = n;
+  allocOptions.arrivalChoices = static_cast<int>(ctx.params.getInt("d", 2));
+  serve::LoopOptions loopOptions;
+  loopOptions.shards = static_cast<int>(ctx.params.getInt("shards", 8));
+  loopOptions.epochEvents = ctx.params.getInt("epoch", 1024);
+  loopOptions.repairMovesPerEpoch = static_cast<int>(ctx.params.getInt("repair", 4));
+  loopOptions.seed = ctx.seed;
+  const std::string replayPath = ctx.params.getString("trace", "");
+  const std::string recordPath = ctx.params.getString("record", "");
+
+  // Trace source: generated (optionally tee'd to JSONL), or replayed.
+  const std::uint64_t traceSeed = rng::streamSeed(ctx.seed, stableHash("trace:" + kind));
+  std::unique_ptr<workload::TraceGenerator> generated;
+  std::ifstream replayIn;
+  std::ofstream recordOut;
+  std::unique_ptr<workload::TraceGenerator> source;
+  RLSLB_ASSERT_MSG(replayPath.empty() || recordPath.empty(),
+                   "trace= (replay) and record= (tee the generated trace) are mutually "
+                   "exclusive; a replayed trace is already on disk");
+  if (!replayPath.empty()) {
+    // The epoch/checkpoint/warmup math below needs the true trace length,
+    // which for a replay is the file, not the `events` param.
+    {
+      std::ifstream count(replayPath);
+      RLSLB_ASSERT_MSG(count.is_open(), "cannot open trace= replay file");
+      events = 0;
+      std::string line;
+      while (std::getline(count, line)) {
+        if (!line.empty()) ++events;
+      }
+      RLSLB_ASSERT_MSG(events > 0, "trace= replay file holds no events");
+    }
+    replayIn.open(replayPath);
+    RLSLB_ASSERT_MSG(replayIn.is_open(), "cannot open trace= replay file");
+    source = std::make_unique<workload::JsonlTraceReader>(replayIn);
+  } else {
+    generated = buildTrace(ctx, kind, n, events, traceSeed);
+    if (!recordPath.empty()) {
+      recordOut.open(recordPath);
+      RLSLB_ASSERT_MSG(recordOut.is_open(), "cannot open record= output file");
+      source = std::make_unique<workload::RecordingTrace>(*generated, recordOut);
+    } else {
+      source = std::move(generated);
+    }
+  }
+
+  serve::OnlineAllocator allocator(allocOptions);
+  serve::ShardedEventLoop loop(allocator, loopOptions, ctx.pool());
+
+  // Epoch observation: a handful of trajectory checkpoints plus post-warmup
+  // gap statistics and the per-epoch wall-clock distribution.
+  const std::int64_t totalEpochs =
+      (events + loopOptions.epochEvents - 1) / loopOptions.epochEvents;
+  const std::int64_t checkpointEvery = std::max<std::int64_t>(1, totalEpochs / 8);
+  const std::int64_t warmupEpochs = totalEpochs / 4;
+  Table trajectory({"epoch", "trace time", "live balls", "total load", "gap", "migrations"});
+  double gapSum = 0.0;
+  std::int64_t gapEpochs = 0;
+  std::int64_t maxGap = 0;
+  std::vector<double> epochNs;
+  const serve::ShardedEventLoop::RunResult runResult =
+      loop.run(*source, [&](const serve::EpochStats& s) {
+    if (s.epoch % checkpointEvery == 0 || s.epoch + 1 == totalEpochs) {
+      trajectory.row()
+          .cell(s.epoch)
+          .cell(s.traceTime, 5)
+          .cell(s.liveBalls)
+          .cell(s.totalLoad)
+          .cell(s.gap)
+          .cell(s.migrations);
+    }
+    if (s.epoch >= warmupEpochs) {
+      gapSum += static_cast<double>(s.gap);
+      ++gapEpochs;
+      if (s.gap > maxGap) maxGap = s.gap;
+    }
+    if (s.events > 0) {
+      epochNs.push_back(s.wallSeconds * 1e9 / static_cast<double>(s.events));
+    }
+      });
+  const auto& c = allocator.counters();
+
+  ctx.emitTable(trajectory, "[serve] " + kind + " gap trajectory, n=" + std::to_string(n) +
+                                " (checkpoint epochs; gap = max - min bin load)");
+
+  const double meanGap = gapEpochs > 0 ? gapSum / static_cast<double>(gapEpochs) : 0.0;
+  const std::int64_t bound = std::max<std::int64_t>(1, allocator.maxWeightSeen());
+  Table summary({"events", "arrivals", "departures", "resamples", "migrations",
+                 "migr/resample", "repairs", "mean gap", "max gap", "closed bound",
+                 "gap/bound"});
+  summary.row()
+      .cell(c.events)
+      .cell(c.arrivals)
+      .cell(c.departures)
+      .cell(c.resamples)
+      .cell(c.migrations)
+      .cell(c.resamples > 0
+                ? static_cast<double>(c.migrations) / static_cast<double>(c.resamples)
+                : 0.0,
+            3)
+      .cell(c.repairMigrations)
+      .cell(meanGap, 4)
+      .cell(maxGap)
+      .cell(bound)
+      .cell(meanGap / static_cast<double>(bound), 3);
+  ctx.emitTable(summary,
+                "[serve] " + kind +
+                    " summary (post-warmup gap vs the paper's closed-system balance floor)");
+
+  // Wall-clock view: loop throughput and the per-event cost distribution.
+  std::sort(epochNs.begin(), epochNs.end());
+  const double meanNs = [&] {
+    double total = 0.0;
+    for (const double v : epochNs) total += v;
+    return epochNs.empty() ? 0.0 : total / static_cast<double>(epochNs.size());
+  }();
+  const double p99Ns =
+      epochNs.empty() ? 0.0
+                      : epochNs[static_cast<std::size_t>(
+                            static_cast<double>(epochNs.size() - 1) * 0.99)];
+  const double eventsPerSec =
+      runResult.wallSeconds > 0.0
+          ? static_cast<double>(runResult.events) / runResult.wallSeconds
+          : 0.0;
+  Table timing({"events", "epochs", "loop wall s", "events/sec", "mean ns/event",
+                "p99 ns/event (epoch)"});
+  timing.row()
+      .cell(runResult.events)
+      .cell(runResult.epochs)
+      .cell(runResult.wallSeconds, 4)
+      .cell(eventsPerSec, 6)
+      .cell(meanNs, 4)
+      .cell(p99Ns, 4);
+  ctx.emitTimingTable(timing, "[serve] " + kind +
+                                  " loop throughput (decision+apply+repair wall-clock; "
+                                  "trace generation excluded)");
+  if (ctx.sink != nullptr) {
+    ctx.sink->writeThroughput(ctx.activeScenario, runResult.events, eventsPerSec);
+  }
+}
+
+}  // namespace
+
+void registerServe(ScenarioRegistry& r) {
+  const auto add = [&r](const std::string& kind, const std::string& what) {
+    r.add({"serve_" + kind,
+           "online serving: " + what + " trace through the incremental RLS allocator",
+           "open-system serving (Ganesh et al. [11]; Section 7 outlook)",
+           [kind](ScenarioContext& ctx) { runServe(ctx, kind); }});
+  };
+  add("poisson", "constant-rate Poisson arrivals/departures");
+  add("bursty", "2-state MMPP calm/burst");
+  add("diurnal", "sinusoid-modulated (day/night) arrivals");
+  add("adversarial", "synchronized heavy hot-spot bursts");
+}
+
+}  // namespace rlslb::scenario::builtin

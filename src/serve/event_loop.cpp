@@ -1,0 +1,103 @@
+#include "serve/event_loop.hpp"
+
+#include <vector>
+
+#include "rng/splitmix64.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace rlslb::serve {
+
+namespace {
+constexpr std::uint64_t kDecisionSalt = 0x64656373ULL;  // "decs"
+constexpr std::uint64_t kRepairSalt = 0x72657061ULL;    // "repa"
+}  // namespace
+
+ShardedEventLoop::ShardedEventLoop(OnlineAllocator& allocator, const LoopOptions& options,
+                                   runner::ThreadPool& pool)
+    : allocator_(&allocator), options_(options), pool_(&pool) {
+  RLSLB_ASSERT(options_.shards >= 1);
+  RLSLB_ASSERT(options_.epochEvents >= 1);
+  RLSLB_ASSERT(options_.repairMovesPerEpoch >= 0);
+}
+
+ShardedEventLoop::RunResult ShardedEventLoop::run(
+    workload::TraceGenerator& trace, const std::function<void(const EpochStats&)>& onEpoch) {
+  const std::uint64_t decisionSeed = rng::streamSeed(options_.seed, kDecisionSalt);
+  const std::uint64_t repairSeed = rng::streamSeed(options_.seed, kRepairSalt);
+  const auto shards = static_cast<std::size_t>(options_.shards);
+
+  RunResult result;
+  std::vector<workload::Event> batch;
+  std::vector<Decision> decisions;
+  std::vector<std::vector<std::size_t>> shardEvents(shards);  // batch indices
+  std::vector<std::int64_t> snapshot;
+  batch.reserve(static_cast<std::size_t>(options_.epochEvents));
+
+  for (;;) {
+    batch.clear();
+    workload::Event event;
+    while (static_cast<std::int64_t>(batch.size()) < options_.epochEvents &&
+           trace.next(&event)) {
+      batch.push_back(event);
+    }
+    if (batch.empty()) break;
+
+    WallTimer wall;
+    const std::int64_t baseOrdinal = nextOrdinal_;
+    nextOrdinal_ += static_cast<std::int64_t>(batch.size());
+
+    // Hash-shard by ball id; the partition only distributes work, the
+    // decisions do not depend on it (per-event rng streams).
+    for (auto& list : shardEvents) list.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::size_t shard =
+          static_cast<std::size_t>(rng::mix64(static_cast<std::uint64_t>(batch[i].ball))) %
+          shards;
+      shardEvents[shard].push_back(i);
+    }
+
+    // Decision phase against the epoch-start snapshot, one slot per event.
+    snapshot = allocator_->loads();
+    decisions.assign(batch.size(), Decision{});
+    pool_->parallelFor(static_cast<std::int64_t>(shards), [&](std::int64_t shard) {
+      for (const std::size_t i : shardEvents[static_cast<std::size_t>(shard)]) {
+        const workload::Event& e = batch[i];
+        if (e.kind == workload::EventKind::kDepart) continue;  // no randomness
+        rng::Xoshiro256pp eng(
+            rng::streamSeed(decisionSeed, static_cast<std::uint64_t>(
+                                              baseOrdinal + static_cast<std::int64_t>(i))));
+        decisions[i] = allocator_->decide(e, snapshot, eng);
+      }
+    });
+
+    // Apply phase in trace order, then the cross-shard repair budget.
+    for (std::size_t i = 0; i < batch.size(); ++i) allocator_->apply(batch[i], decisions[i]);
+    rng::Xoshiro256pp repairEng(
+        rng::streamSeed(repairSeed, static_cast<std::uint64_t>(nextEpoch_)));
+    for (int k = 0; k < options_.repairMovesPerEpoch; ++k) allocator_->repairMove(repairEng);
+
+    const double epochWall = wall.seconds();
+    result.wallSeconds += epochWall;
+    result.events += static_cast<std::int64_t>(batch.size());
+    ++result.epochs;
+
+    if (onEpoch) {
+      EpochStats stats;
+      stats.epoch = nextEpoch_;
+      stats.traceTime = batch.back().time;
+      stats.events = static_cast<std::int64_t>(batch.size());
+      stats.liveBalls = allocator_->liveBalls();
+      stats.totalLoad = allocator_->totalLoad();
+      stats.gap = allocator_->gap();
+      stats.migrations =
+          allocator_->counters().migrations + allocator_->counters().repairMigrations;
+      stats.wallSeconds = epochWall;
+      onEpoch(stats);
+    }
+    ++nextEpoch_;
+  }
+  return result;
+}
+
+}  // namespace rlslb::serve

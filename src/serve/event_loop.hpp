@@ -1,0 +1,79 @@
+// ShardedEventLoop: the serving subsystem's execution engine.
+//
+// Events are consumed in fixed-size *epochs* (bulk-synchronous style):
+//
+//   1. Fill a batch of up to epochEvents events from the trace.
+//   2. Snapshot the bin loads.
+//   3. Decision phase, parallel on runner::ThreadPool: events are
+//      hash-sharded by ball id; each shard walks its events in trace order
+//      and computes the random placement/candidate decisions against the
+//      snapshot, each event drawing from its own rng stream
+//      streamSeed(decisionSeed, eventOrdinal).
+//   4. Apply phase, sequential in trace order: every decision is
+//      re-validated against live loads and applied (O(log n) per event).
+//   5. Cross-shard rebalance: a fixed budget of RLS repair activations on
+//      live state heals whatever imbalance the stale snapshot let through
+//      (the bulk-synchronous analogue of the paper's background RLS
+//      clocks), then the next epoch snapshots fresh loads.
+//
+// Determinism: decisions are per-event pure functions of (snapshot,
+// ordinal-derived rng), the apply order is the trace order, and the repair
+// stream is keyed by epoch index — so the final load vector and every
+// counter are byte-identical across thread counts AND shard counts; shards
+// are purely an execution-parallelism knob (asserted by tests/test_serve).
+// Epoch length is a *semantic* knob (it sets snapshot staleness) and is
+// therefore not an invariance axis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runner/thread_pool.hpp"
+#include "serve/online_allocator.hpp"
+#include "workload/generators.hpp"
+
+namespace rlslb::serve {
+
+struct LoopOptions {
+  int shards = 8;                   // decision-phase partitions
+  std::int64_t epochEvents = 1024;  // snapshot refresh granularity
+  int repairMovesPerEpoch = 4;      // cross-shard repair activations
+  std::uint64_t seed = 1;           // decision + repair stream base
+};
+
+/// Per-epoch observation passed to the run() callback.
+struct EpochStats {
+  std::int64_t epoch = 0;       // 0-based epoch index
+  double traceTime = 0.0;       // timestamp of the epoch's last event
+  std::int64_t events = 0;      // events in this epoch
+  std::int64_t liveBalls = 0;
+  std::int64_t totalLoad = 0;
+  std::int64_t gap = 0;         // max - min bin load after the epoch
+  std::int64_t migrations = 0;  // cumulative accepted migrations
+  double wallSeconds = 0.0;     // decision+apply+repair wall-clock (epoch)
+};
+
+class ShardedEventLoop {
+ public:
+  ShardedEventLoop(OnlineAllocator& allocator, const LoopOptions& options,
+                   runner::ThreadPool& pool);
+
+  struct RunResult {
+    std::int64_t events = 0;
+    std::int64_t epochs = 0;
+    double wallSeconds = 0.0;  // total across epochs (excludes trace generation)
+  };
+
+  /// Drain the trace. `onEpoch` (may be empty) fires after each epoch.
+  RunResult run(workload::TraceGenerator& trace,
+                const std::function<void(const EpochStats&)>& onEpoch = {});
+
+ private:
+  OnlineAllocator* allocator_;
+  LoopOptions options_;
+  runner::ThreadPool* pool_;
+  std::int64_t nextOrdinal_ = 0;  // global event ordinal (decision streams)
+  std::int64_t nextEpoch_ = 0;
+};
+
+}  // namespace rlslb::serve

@@ -1,0 +1,183 @@
+#include "serve/online_allocator.hpp"
+
+#include "rng/distributions.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::serve {
+
+OnlineAllocator::OnlineAllocator(const AllocatorOptions& options)
+    : options_(options),
+      loads_(static_cast<std::size_t>(options.bins), 0),
+      mass_(static_cast<std::size_t>(options.bins)),
+      binBalls_(static_cast<std::size_t>(options.bins)) {
+  RLSLB_ASSERT(options_.bins >= 1);
+  RLSLB_ASSERT(options_.arrivalChoices >= 1);
+  levels_[0] = options_.bins;
+}
+
+Decision OnlineAllocator::decide(const workload::Event& event,
+                                 const std::vector<std::int64_t>& snapshotLoads,
+                                 rng::Xoshiro256pp& eng) const {
+  const auto n = static_cast<std::uint64_t>(snapshotLoads.size());
+  Decision d;
+  switch (event.kind) {
+    case workload::EventKind::kArrive: {
+      // d-choice over the snapshot: least loaded of `arrivalChoices`
+      // uniform samples (ties keep the first draw, so the choice is a
+      // deterministic function of the rng stream).
+      auto best = static_cast<std::int32_t>(rng::uniformIndex(eng, n));
+      for (int c = 1; c < options_.arrivalChoices; ++c) {
+        const auto candidate = static_cast<std::int32_t>(rng::uniformIndex(eng, n));
+        if (snapshotLoads[static_cast<std::size_t>(candidate)] <
+            snapshotLoads[static_cast<std::size_t>(best)]) {
+          best = candidate;
+        }
+      }
+      d.bin = best;
+      break;
+    }
+    case workload::EventKind::kResample:
+      d.bin = static_cast<std::int32_t>(rng::uniformIndex(eng, n));
+      break;
+    case workload::EventKind::kDepart:
+      break;
+  }
+  return d;
+}
+
+void OnlineAllocator::apply(const workload::Event& event, const Decision& decision) {
+  ++counters_.events;
+  switch (event.kind) {
+    case workload::EventKind::kArrive: {
+      RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
+      ++counters_.arrivals;
+      placeBall(event.ball, event.weight, decision.bin);
+      break;
+    }
+    case workload::EventKind::kDepart: {
+      ++counters_.departures;
+      const auto it = balls_.find(event.ball);
+      RLSLB_ASSERT_MSG(it != balls_.end(), "depart event for a ball that is not live");
+      const BallRec rec = it->second;
+      balls_.erase(it);
+      eraseBall(event.ball, rec);
+      changeLoad(rec.bin, -rec.weight);
+      break;
+    }
+    case workload::EventKind::kResample: {
+      ++counters_.resamples;
+      RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
+      const auto it = balls_.find(event.ball);
+      RLSLB_ASSERT_MSG(it != balls_.end(), "resample event for a ball that is not live");
+      BallRec& rec = it->second;
+      const std::int32_t src = rec.bin;
+      const std::int32_t dst = decision.bin;
+      // Strict local-search rule on *live* loads: the sampled candidate
+      // came from the epoch snapshot stream, but the acceptance must never
+      // worsen balance, so it is re-checked here.
+      if (dst != src && loads_[static_cast<std::size_t>(dst)] + rec.weight <
+                            loads_[static_cast<std::size_t>(src)]) {
+        ++counters_.migrations;
+        moveBall(event.ball, rec, dst);
+      } else {
+        ++counters_.rejectedMoves;
+      }
+      break;
+    }
+  }
+}
+
+bool OnlineAllocator::repairMove(rng::Xoshiro256pp& eng) {
+  const std::int64_t total = mass_.total();
+  if (total == 0) return false;
+  ++counters_.repairAttempts;
+  // Load-weighted bin pick, then a uniform ball within the bin: with unit
+  // weights this composes to a uniform pick over live balls (the RLS
+  // activation); with weights it biases toward heavy bins, which is the
+  // direction a repair pass wants anyway.
+  const auto ticket = static_cast<std::int64_t>(
+      rng::uniformIndex(eng, static_cast<std::uint64_t>(total)));
+  const auto src = static_cast<std::int32_t>(mass_.upperBound(ticket));
+  auto& srcBalls = binBalls_[static_cast<std::size_t>(src)];
+  RLSLB_ASSERT(!srcBalls.empty());
+  const auto pick = static_cast<std::size_t>(
+      rng::uniformIndex(eng, static_cast<std::uint64_t>(srcBalls.size())));
+  const std::int64_t ball = srcBalls[pick];
+  const auto dst = static_cast<std::int32_t>(
+      rng::uniformIndex(eng, static_cast<std::uint64_t>(loads_.size())));
+  BallRec& rec = balls_.at(ball);
+  if (dst == src || loads_[static_cast<std::size_t>(dst)] + rec.weight >=
+                        loads_[static_cast<std::size_t>(src)]) {
+    return false;
+  }
+  ++counters_.repairMigrations;
+  moveBall(ball, rec, dst);
+  return true;
+}
+
+void OnlineAllocator::changeLoad(std::int32_t bin, std::int64_t delta) {
+  const auto i = static_cast<std::size_t>(bin);
+  const std::int64_t before = loads_[i];
+  const std::int64_t after = before + delta;
+  RLSLB_ASSERT(after >= 0);
+  loads_[i] = after;
+  mass_.add(i, delta);
+  const auto it = levels_.find(before);
+  if (--(it->second) == 0) levels_.erase(it);
+  ++levels_[after];
+}
+
+void OnlineAllocator::placeBall(std::int64_t ball, std::int64_t weight, std::int32_t bin) {
+  RLSLB_ASSERT(weight >= 1);
+  if (weight > maxWeightSeen_) maxWeightSeen_ = weight;
+  auto& slot = binBalls_[static_cast<std::size_t>(bin)];
+  const auto [it, inserted] =
+      balls_.emplace(ball, BallRec{bin, weight, static_cast<std::int32_t>(slot.size())});
+  RLSLB_ASSERT_MSG(inserted, "arrive event for a ball id that is already live");
+  (void)it;
+  slot.push_back(ball);
+  changeLoad(bin, weight);
+}
+
+void OnlineAllocator::eraseBall(std::int64_t ball, const BallRec& rec) {
+  auto& slot = binBalls_[static_cast<std::size_t>(rec.bin)];
+  RLSLB_ASSERT(slot[static_cast<std::size_t>(rec.slot)] == ball);
+  const std::int64_t moved = slot.back();
+  slot[static_cast<std::size_t>(rec.slot)] = moved;
+  slot.pop_back();
+  if (moved != ball) balls_.at(moved).slot = rec.slot;
+}
+
+void OnlineAllocator::moveBall(std::int64_t ball, BallRec& rec, std::int32_t toBin) {
+  const BallRec old = rec;
+  eraseBall(ball, old);
+  auto& dstSlot = binBalls_[static_cast<std::size_t>(toBin)];
+  rec.bin = toBin;
+  rec.slot = static_cast<std::int32_t>(dstSlot.size());
+  dstSlot.push_back(ball);
+  changeLoad(old.bin, -old.weight);
+  changeLoad(toBin, old.weight);
+}
+
+bool OnlineAllocator::validate() const {
+  std::int64_t total = 0;
+  std::map<std::int64_t, std::int64_t> levels;
+  for (std::size_t bin = 0; bin < loads_.size(); ++bin) {
+    std::int64_t binLoad = 0;
+    for (std::size_t s = 0; s < binBalls_[bin].size(); ++s) {
+      const auto it = balls_.find(binBalls_[bin][s]);
+      if (it == balls_.end()) return false;
+      if (it->second.bin != static_cast<std::int32_t>(bin)) return false;
+      if (it->second.slot != static_cast<std::int32_t>(s)) return false;
+      binLoad += it->second.weight;
+    }
+    if (binLoad != loads_[bin]) return false;
+    if (mass_.get(bin) != loads_[bin]) return false;
+    total += binLoad;
+    ++levels[loads_[bin]];
+  }
+  if (total != mass_.total()) return false;
+  return levels == levels_;
+}
+
+}  // namespace rlslb::serve

@@ -1,0 +1,123 @@
+// OnlineAllocator: incremental ball-to-bin state for the serving subsystem.
+//
+// The closed-system engines re-simulate a whole configuration to absorption;
+// the serving layer instead maintains one long-lived allocation and applies
+// the paper's RLS rule *per event* of a workload trace:
+//
+//   Arrive    place the ball via a d-choice over a load snapshot (d = 1 is
+//             the uniform arrival of Ganesh et al. [11]; d = 2 the
+//             power-of-two-choices hybrid of E14c).
+//   Depart    remove the ball from its bin.
+//   Resample  the ball's RLS clock: a uniformly sampled candidate bin, and
+//             migration iff the local-search rule accepts — the strict
+//             variant load(dst) + w < load(src), which by the paper's
+//             Section 3 remark induces the same lumped balance dynamics as
+//             ">=" while never paying for a neutral migration (migrations
+//             are the expensive operation in a serving system).
+//
+// Per-event cost is O(log n): bin loads live in a ds::Fenwick (O(1) total,
+// O(log n) update and load-weighted sampling for the repair pass) plus a
+// load-level histogram (LoadMultiset's level/count view as an ordered map:
+// O(log L) update, O(1) min/max/gap).
+//
+// Decision/apply split: decide() is a *pure* function of (event, load
+// snapshot, rng) so the sharded event loop (serve/event_loop.hpp) can fan
+// decisions out across threads; apply() mutates and re-validates the RLS
+// rule against live loads, so a stale snapshot can cost an extra rejected
+// migration but never a balance-worsening move.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/fenwick.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "workload/event.hpp"
+
+namespace rlslb::serve {
+
+struct AllocatorOptions {
+  std::int64_t bins = 256;
+  int arrivalChoices = 2;  // d: snapshot-least-loaded of d sampled bins
+};
+
+/// The precomputed random choice for one event. Arrive: the chosen bin.
+/// Resample: the sampled candidate bin. Depart: unused.
+struct Decision {
+  std::int32_t bin = -1;
+};
+
+struct ServeCounters {
+  std::int64_t events = 0;
+  std::int64_t arrivals = 0;
+  std::int64_t departures = 0;
+  std::int64_t resamples = 0;
+  std::int64_t migrations = 0;       // accepted resample moves
+  std::int64_t rejectedMoves = 0;    // resamples whose rule check failed
+  std::int64_t repairAttempts = 0;   // cross-shard repair activations
+  std::int64_t repairMigrations = 0; // accepted repair moves
+};
+
+class OnlineAllocator {
+ public:
+  explicit OnlineAllocator(const AllocatorOptions& options);
+
+  /// Pure decision phase: thread-safe with respect to *this (reads only
+  /// the options) — every mutable input is an argument.
+  [[nodiscard]] Decision decide(const workload::Event& event,
+                                const std::vector<std::int64_t>& snapshotLoads,
+                                rng::Xoshiro256pp& eng) const;
+
+  /// Apply phase: single-threaded, validates against live state.
+  void apply(const workload::Event& event, const Decision& decision);
+
+  /// One RLS repair activation on live state: a load-weighted bin pick
+  /// (with unit weights this is exactly "activate a uniform ball"), a
+  /// uniform candidate bin, and the strict migration rule. Returns whether
+  /// a ball moved. Used by the event loop's cross-shard rebalance.
+  bool repairMove(rng::Xoshiro256pp& eng);
+
+  [[nodiscard]] std::int64_t numBins() const {
+    return static_cast<std::int64_t>(loads_.size());
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
+  [[nodiscard]] std::int64_t totalLoad() const { return mass_.total(); }
+  [[nodiscard]] std::int64_t liveBalls() const {
+    return static_cast<std::int64_t>(balls_.size());
+  }
+  [[nodiscard]] std::int64_t minLoad() const { return levels_.begin()->first; }
+  [[nodiscard]] std::int64_t maxLoad() const { return levels_.rbegin()->first; }
+  /// max - min bin load: the serving analogue of the discrepancy.
+  [[nodiscard]] std::int64_t gap() const { return maxLoad() - minLoad(); }
+  /// Largest single ball weight ever seen: the closed-system balance floor
+  /// for weighted traffic (a gap below the heaviest ball is unreachable).
+  [[nodiscard]] std::int64_t maxWeightSeen() const { return maxWeightSeen_; }
+  [[nodiscard]] const ServeCounters& counters() const { return counters_; }
+
+  /// Internal-consistency scan (O(n + m); tests only).
+  [[nodiscard]] bool validate() const;
+
+ private:
+  AllocatorOptions options_;
+  std::vector<std::int64_t> loads_;
+  ds::Fenwick<std::int64_t> mass_;        // bin -> load (repair sampling, total)
+  std::map<std::int64_t, std::int64_t> levels_;  // load value -> #bins
+  struct BallRec {
+    std::int32_t bin = 0;
+    std::int64_t weight = 0;
+    std::int32_t slot = 0;  // index in binBalls_[bin]
+  };
+  std::unordered_map<std::int64_t, BallRec> balls_;
+  std::vector<std::vector<std::int64_t>> binBalls_;  // live ball ids per bin
+  ServeCounters counters_;
+  std::int64_t maxWeightSeen_ = 0;
+
+  void changeLoad(std::int32_t bin, std::int64_t delta);
+  void placeBall(std::int64_t ball, std::int64_t weight, std::int32_t bin);
+  void moveBall(std::int64_t ball, BallRec& rec, std::int32_t toBin);
+  void eraseBall(std::int64_t ball, const BallRec& rec);
+};
+
+}  // namespace rlslb::serve

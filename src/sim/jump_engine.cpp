@@ -1,5 +1,7 @@
 #include "sim/jump_engine.hpp"
 
+#include <bit>
+
 #include "config/metrics.hpp"
 #include "rng/distributions.hpp"
 #include "util/assert.hpp"
@@ -13,6 +15,18 @@ JumpEngine::JumpEngine(ds::LoadMultiset initial, std::uint64_t seed, double star
                        std::int64_t startMoves)
     : ms_(std::move(initial)), eng_(seed), time_(startTime), moves_(startMoves) {
   RLSLB_ASSERT(ms_.numBins() >= 1);
+  // Cost heuristic: the scan is ~a few ns per level, the index ~a couple
+  // hundred ns per tree layer (log2 of the load domain), so the index only
+  // pays off when many distinct levels stay in play. The concentrated
+  // starts of the Theorem-1 experiments (all-in-one: L = 2, domain = m)
+  // must keep the scan; wide staircase/uniform starts get the index.
+  const auto domain =
+      static_cast<std::uint64_t>(ms_.maxLoad() - ms_.minLoad() + 1);
+  const auto treeDepth = static_cast<std::int64_t>(std::bit_width(domain));
+  if (ds::LevelIndex::fits(ms_) &&
+      static_cast<std::int64_t>(ms_.numLevels()) >= 24 * treeDepth) {
+    index_ = std::make_unique<ds::LevelIndex>(ms_);
+  }
   refreshState();
 }
 
@@ -25,7 +39,31 @@ void JumpEngine::refreshState() {
   state_.overloadedBalls = m.overloadedBalls;
 }
 
+const ds::LoadMultiset& JumpEngine::multiset() const {
+  if (!msFresh_) {
+    ms_ = index_->toMultiset();
+    msFresh_ = true;
+  }
+  return ms_;
+}
+
+void JumpEngine::disableLevelIndex() {
+  if (!index_) return;
+  static_cast<void>(multiset());  // materialize ms_ from the index before dropping it
+  index_.reset();
+}
+
+void JumpEngine::enableLevelIndex() {
+  if (index_) return;
+  RLSLB_ASSERT_MSG(ds::LevelIndex::fits(ms_),
+                   "enableLevelIndex: configuration exceeds the index bounds");
+  index_ = std::make_unique<ds::LevelIndex>(ms_);
+}
+
 double JumpEngine::totalRate() const {
+  if (index_) {
+    return static_cast<double>(index_->totalWeight()) / static_cast<double>(state_.numBins);
+  }
   const auto& levels = ms_.levels();
   double total = 0.0;
   std::size_t below = 0;       // first level index with load > v - 2
@@ -42,7 +80,40 @@ double JumpEngine::totalRate() const {
   return total / static_cast<double>(ms_.numBins());
 }
 
-bool JumpEngine::step() {
+bool JumpEngine::step() { return index_ ? stepIndexed() : stepScan(); }
+
+bool JumpEngine::stepIndexed() {
+  const std::int64_t totalW = index_->totalWeight();
+  if (totalW == 0) return false;  // absorbed: spread <= 1, perfectly balanced
+
+  const std::int64_t n = state_.numBins;
+  time_ += rng::exponential(eng_, static_cast<double>(totalW) / static_cast<double>(n));
+
+  // Source level proportional to v*cnt(v)*C(v-2); the exact integer weights
+  // make this a plain uniform-ticket draw.
+  const auto ticket = static_cast<std::int64_t>(
+      rng::uniformIndex(eng_, static_cast<std::uint64_t>(totalW)));
+  const std::int64_t v = index_->sampleSource(ticket);
+
+  // Destination among loads <= v - 2, proportional to count.
+  const std::int64_t eligible = index_->countAtMost(v - 2);
+  RLSLB_ASSERT(eligible >= 1);
+  const auto destTicket = static_cast<std::int64_t>(
+      rng::uniformIndex(eng_, static_cast<std::uint64_t>(eligible)));
+  const std::int64_t u = index_->sampleDest(destTicket);
+
+  index_->applyBallMove(v, u);
+  msFresh_ = false;
+  ++moves_;
+  const std::int64_t ceilAvg = (state_.numBalls + n - 1) / n;
+  if (v > ceilAvg) --state_.overloadedBalls;
+  if (u + 1 > ceilAvg) ++state_.overloadedBalls;
+  state_.minLoad = index_->minLoad();
+  state_.maxLoad = index_->maxLoad();
+  return true;
+}
+
+bool JumpEngine::stepScan() {
   const auto& levels = ms_.levels();
   const std::size_t numLevels = levels.size();
 

@@ -14,15 +14,24 @@
 //     the *same* lumped chain, hence identical balancing-time distributions.
 //
 // The remaining transitions move a ball from a level-v bin to a level-u bin
-// with u <= v - 2 at rate v * cnt(v) * cnt(u) / n. Each event costs O(L)
-// with L = number of distinct load values (L <= min(n, spread + 1)).
+// with u <= v - 2 at rate v * cnt(v) * cnt(u) / n. Two per-event backends
+// sample the same distribution:
+//   - ds::LevelIndex, O(log D) with D = initial maxLoad - minLoad + 1:
+//     incrementally maintained level weights, exact integer sampling;
+//   - the O(L) scan over the sparse level list (L = distinct load values),
+//     whose tiny constant wins for concentrated states.
+// The constructor picks by a cost heuristic (index iff L exceeds ~24 tree
+// depths); enableLevelIndex()/disableLevelIndex() force a backend for the
+// micro rows and the cross-backend equivalence tests.
 // The chain is absorbed exactly when max - min <= 1, i.e. perfect balance.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "config/configuration.hpp"
+#include "ds/level_index.hpp"
 #include "ds/load_multiset.hpp"
 #include "rng/xoshiro256pp.hpp"
 #include "sim/engine.hpp"
@@ -41,20 +50,40 @@ class JumpEngine final : public Engine {
   [[nodiscard]] std::int64_t activations() const override { return -1; }
   [[nodiscard]] const BalanceState& state() const override { return state_; }
 
-  [[nodiscard]] const ds::LoadMultiset& multiset() const { return ms_; }
+  /// Current lumped state. With the level index active this rebuilds the
+  /// multiset on first access after a step (O(D log D)); hand-offs and
+  /// tests call it, the hot loop must not.
+  [[nodiscard]] const ds::LoadMultiset& multiset() const;
+
+  /// Drop the incremental level index and simulate via the O(L) per-event
+  /// scan from here on. For the before/after micro rows (micro_substrate)
+  /// and the index-vs-scan equivalence tests; sampling distributions are
+  /// identical either way, drawn random streams are not.
+  void disableLevelIndex();
+
+  /// Force-build the incremental index regardless of the cost heuristic
+  /// (requires ds::LevelIndex::fits on the current state).
+  void enableLevelIndex();
+
+  /// True when steps go through ds::LevelIndex (the O(log D) path).
+  [[nodiscard]] bool usesLevelIndex() const { return index_ != nullptr; }
 
   /// Total rate of multiset-changing moves in the current state
   /// (R = (1/n) * sum_{u <= v-2} v*cnt(v)*cnt(u)); 0 iff absorbed.
   [[nodiscard]] double totalRate() const;
 
  private:
-  ds::LoadMultiset ms_;
+  mutable ds::LoadMultiset ms_;
+  mutable bool msFresh_ = true;  // ms_ mirrors the index state
+  std::unique_ptr<ds::LevelIndex> index_;
   rng::Xoshiro256pp eng_;
   BalanceState state_;
   double time_;
   std::int64_t moves_;
-  std::vector<double> weightScratch_;  // per-level source weights, reused
+  std::vector<double> weightScratch_;  // per-level source weights (scan path)
 
+  bool stepIndexed();
+  bool stepScan();
   void refreshState();
 };
 

@@ -1,0 +1,70 @@
+#include "workload/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "report/json.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::workload {
+
+std::string formatTraceEvent(const Event& event) {
+  std::string out = "{\"t\":";
+  out += report::formatJsonNumber(event.time);
+  out += ",\"kind\":\"";
+  out += kindName(event.kind);
+  out += "\",\"ball\":";
+  out += std::to_string(event.ball);
+  out += ",\"w\":";
+  out += std::to_string(event.weight);
+  out += "}";
+  return out;
+}
+
+bool parseTraceEvent(const std::string& line, Event* out, std::string* error) {
+  std::string parseError;
+  const report::Json rec = report::Json::parse(line, &parseError);
+  if (!parseError.empty()) {
+    if (error != nullptr) *error = parseError;
+    return false;
+  }
+  const report::Json* t = rec.find("t");
+  const report::Json* kind = rec.find("kind");
+  const report::Json* ball = rec.find("ball");
+  const report::Json* w = rec.find("w");
+  if (t == nullptr || kind == nullptr || ball == nullptr || w == nullptr) {
+    if (error != nullptr) *error = "trace event missing one of t/kind/ball/w: " + line;
+    return false;
+  }
+  EventKind kindValue{};
+  if (!kindFromName(kind->asString(), &kindValue)) {
+    if (error != nullptr) *error = "unknown trace event kind: " + kind->asString();
+    return false;
+  }
+  out->time = t->asDouble();
+  out->kind = kindValue;
+  out->ball = ball->asInt();
+  out->weight = w->asInt();
+  return true;
+}
+
+bool RecordingTrace::next(Event* out) {
+  if (!inner_->next(out)) return false;
+  *out_ << formatTraceEvent(*out) << '\n';
+  return true;
+}
+
+bool JsonlTraceReader::next(Event* out) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    const bool ok = parseTraceEvent(line, out, &error);
+    if (!ok) std::fprintf(stderr, "trace replay: %s\n", error.c_str());
+    RLSLB_ASSERT_MSG(ok, "malformed trace line; a corrupt trace must not truncate silently");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rlslb::workload

@@ -1,0 +1,52 @@
+// JSONL trace recording and replay.
+//
+// One event per line, e.g. {"t":1.25,"kind":"arrive","ball":7,"w":1}.
+// Timestamps serialize through report::formatJsonNumber (shortest
+// round-trip form), so record -> replay reproduces the original stream
+// bit-for-bit: a live generator run and its replay drive the allocator to
+// byte-identical results. RecordingTrace tees any generator into a stream;
+// JsonlTraceReader is the replay generator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/generators.hpp"
+
+namespace rlslb::workload {
+
+/// One event as a JSONL line (no trailing newline).
+[[nodiscard]] std::string formatTraceEvent(const Event& event);
+
+/// Parse one line. On failure returns false and, when `error` is non-null,
+/// stores a message.
+[[nodiscard]] bool parseTraceEvent(const std::string& line, Event* out,
+                                   std::string* error = nullptr);
+
+/// Pass-through generator that appends every emitted event to `out`.
+class RecordingTrace final : public TraceGenerator {
+ public:
+  RecordingTrace(TraceGenerator& inner, std::ostream& out) : inner_(&inner), out_(&out) {}
+
+  bool next(Event* out) override;
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  TraceGenerator* inner_;
+  std::ostream* out_;
+};
+
+/// Replay generator over a JSONL stream (blank lines skipped; a malformed
+/// line aborts — a corrupt trace must not silently truncate an experiment).
+class JsonlTraceReader final : public TraceGenerator {
+ public:
+  explicit JsonlTraceReader(std::istream& in) : in_(&in) {}
+
+  bool next(Event* out) override;
+  [[nodiscard]] std::string name() const override { return "replay"; }
+
+ private:
+  std::istream* in_;
+};
+
+}  // namespace rlslb::workload

@@ -1,11 +1,15 @@
 // Tests for src/ds: Fenwick tree (including randomized differential tests
-// against a brute-force reference) and the LoadMultiset lumped state.
+// against a brute-force reference), the LoadMultiset lumped state, and the
+// LevelIndex incremental jump-chain sampler (differential against the
+// multiset scan it replaces, plus exhaustive-ticket sampling checks).
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "ds/fenwick.hpp"
+#include "ds/level_index.hpp"
 #include "ds/load_multiset.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256pp.hpp"
@@ -241,6 +245,111 @@ TEST(LoadMultiset, AllEqualSingleLevel) {
   const auto ms = LoadMultiset::fromLoads(std::vector<std::int64_t>(100, 7));
   EXPECT_EQ(ms.numLevels(), 1u);
   EXPECT_EQ(ms.countAt(7), 100);
+}
+
+// ------------------------------------------------------------ LevelIndex
+
+/// Brute-force sum over levels of v*cnt(v)*C(v-2) (the scan the index
+/// replaces).
+std::int64_t bruteTotalWeight(const LoadMultiset& ms) {
+  std::int64_t total = 0;
+  for (const LoadMultiset::Level& lv : ms.levels()) {
+    total += lv.load * lv.count * ms.countAtMost(lv.load - 2);
+  }
+  return total;
+}
+
+TEST(LevelIndex, TotalWeightMatchesBruteForce) {
+  rng::Xoshiro256pp eng(11);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<std::int64_t> loads;
+    const auto n = 2 + static_cast<std::int64_t>(rng::uniformIndex(eng, 40));
+    for (std::int64_t i = 0; i < n; ++i) {
+      loads.push_back(static_cast<std::int64_t>(rng::uniformIndex(eng, 30)));
+    }
+    const auto ms = LoadMultiset::fromLoads(loads);
+    ASSERT_TRUE(LevelIndex::fits(ms));
+    LevelIndex index(ms);
+    EXPECT_EQ(index.totalWeight(), bruteTotalWeight(ms));
+    EXPECT_EQ(index.numBins(), ms.numBins());
+    EXPECT_EQ(index.minLoad(), ms.minLoad());
+    EXPECT_EQ(index.maxLoad(), ms.maxLoad());
+  }
+}
+
+TEST(LevelIndex, DifferentialAgainstMultisetUnderBallMoves) {
+  rng::Xoshiro256pp eng(12);
+  std::vector<std::int64_t> loads;
+  for (std::int64_t i = 0; i < 48; ++i) {
+    loads.push_back(static_cast<std::int64_t>(rng::uniformIndex(eng, 64)));
+  }
+  auto ms = LoadMultiset::fromLoads(loads);
+  LevelIndex index(ms);
+  for (int step = 0; step < 2000; ++step) {
+    if (ms.maxLoad() - ms.minLoad() <= 1) break;
+    // A uniformly random multiset-changing move (any v with an eligible u).
+    std::vector<std::pair<std::int64_t, std::int64_t>> moves;
+    for (const auto& src : ms.levels()) {
+      for (const auto& dst : ms.levels()) {
+        if (src.load >= dst.load + 2) moves.emplace_back(src.load, dst.load);
+      }
+    }
+    ASSERT_FALSE(moves.empty());
+    const auto [v, u] =
+        moves[static_cast<std::size_t>(rng::uniformIndex(eng, moves.size()))];
+    ms.applyBallMove(v, u);
+    index.applyBallMove(v, u);
+    ASSERT_EQ(index.totalWeight(), bruteTotalWeight(ms)) << "step " << step;
+    ASSERT_EQ(index.minLoad(), ms.minLoad());
+    ASSERT_EQ(index.maxLoad(), ms.maxLoad());
+    ASSERT_EQ(index.countAtMost(v - 2), ms.countAtMost(v - 2));
+    ASSERT_EQ(index.countAt(u + 1), ms.countAt(u + 1));
+  }
+  // The index's view expands back to the same multiset.
+  EXPECT_EQ(index.toMultiset().toSortedLoads(), ms.toSortedLoads());
+}
+
+TEST(LevelIndex, SampleSourceAndDestMatchExactProbabilities) {
+  // Levels: load 0 x3, load 2 x2, load 5 x1. Source weights:
+  //   w(2) = 2*2*C(0) = 2*2*3 = 12, w(5) = 5*1*C(3) = 5*1*5 = 25; total 37.
+  const auto ms = LoadMultiset::fromLevels({{0, 3}, {2, 2}, {5, 1}});
+  LevelIndex index(ms);
+  ASSERT_EQ(index.totalWeight(), 37);
+  // Exhaustive tickets: inverse-CDF sampling partitions [0, total) exactly.
+  std::int64_t sourceAt2 = 0;
+  std::int64_t sourceAt5 = 0;
+  for (std::int64_t ticket = 0; ticket < 37; ++ticket) {
+    const std::int64_t v = index.sampleSource(ticket);
+    if (v == 2) ++sourceAt2;
+    if (v == 5) ++sourceAt5;
+  }
+  EXPECT_EQ(sourceAt2, 12);
+  EXPECT_EQ(sourceAt5, 25);
+  // Destinations for v=5: u <= 3, so 3 bins at 0 and 2 bins at 2.
+  ASSERT_EQ(index.countAtMost(3), 5);
+  std::int64_t destAt0 = 0;
+  std::int64_t destAt2 = 0;
+  for (std::int64_t ticket = 0; ticket < 5; ++ticket) {
+    const std::int64_t u = index.sampleDest(ticket);
+    ASSERT_LE(u, 3);
+    if (u == 0) ++destAt0;
+    if (u == 2) ++destAt2;
+  }
+  EXPECT_EQ(destAt0, 3);
+  EXPECT_EQ(destAt2, 2);
+}
+
+TEST(LevelIndex, AbsorbedStatesHaveZeroWeight) {
+  EXPECT_EQ(LevelIndex(LoadMultiset::fromLoads({4, 4, 4})).totalWeight(), 0);
+  EXPECT_EQ(LevelIndex(LoadMultiset::fromLoads({4, 5, 5})).totalWeight(), 0);
+  EXPECT_GT(LevelIndex(LoadMultiset::fromLoads({4, 6})).totalWeight(), 0);
+}
+
+TEST(LevelIndex, FitsGuardsDomainAndOverflow) {
+  EXPECT_TRUE(LevelIndex::fits(LoadMultiset::fromLoads({0, 100})));
+  // Domain cap: spread larger than the cap must be rejected.
+  EXPECT_FALSE(
+      LevelIndex::fits(LoadMultiset::fromLoads({0, 100}), /*domainCap=*/50));
 }
 
 }  // namespace

@@ -385,6 +385,59 @@ TEST(Probes, OverloadDecayNeverIncreases) {
   }
 }
 
+TEST(JumpEngine, IndexAndScanPathsDistributionallyIdentical) {
+  // The incremental LevelIndex path and the O(L) scan rebuild are two
+  // exact samplers of the same lumped chain; their balancing-time
+  // distributions must not separate.
+  const auto init = config::staircase(24, 276);  // many levels in play
+  std::vector<double> indexed;
+  std::vector<double> scan;
+  for (int rep = 0; rep < 800; ++rep) {
+    {
+      sim::JumpEngine engine(init, rng::streamSeed(9100, rep));
+      engine.enableLevelIndex();  // below the cost heuristic's cutoff
+      EXPECT_TRUE(engine.usesLevelIndex());
+      while (engine.step()) {
+      }
+      indexed.push_back(engine.time());
+    }
+    {
+      sim::JumpEngine engine(init, rng::streamSeed(9200, rep));
+      engine.disableLevelIndex();
+      EXPECT_FALSE(engine.usesLevelIndex());
+      while (engine.step()) {
+      }
+      scan.push_back(engine.time());
+    }
+  }
+  EXPECT_GT(stats::ksTwoSample(indexed, scan).pValue, 1e-4);
+  EXPECT_GT(stats::mannWhitneyU(indexed, scan).pValue, 1e-4);
+}
+
+TEST(JumpEngine, IndexedStateMatchesMultisetRebuild) {
+  sim::JumpEngine engine(config::staircase(32, 496), 77);
+  engine.enableLevelIndex();
+  ASSERT_TRUE(engine.usesLevelIndex());
+  for (int step = 0; step < 400 && engine.step(); ++step) {
+    const auto& state = engine.state();
+    const ds::LoadMultiset& ms = engine.multiset();  // rebuilt from the index
+    ASSERT_TRUE(ms.validate());
+    ASSERT_EQ(state.minLoad, ms.minLoad());
+    ASSERT_EQ(state.maxLoad, ms.maxLoad());
+    ASSERT_EQ(state.numBalls, ms.numBalls());
+    const auto metrics = config::computeMetrics(ms);
+    ASSERT_EQ(state.overloadedBalls, metrics.overloadedBalls);
+  }
+  // The rate stays consistent between the index and the multiset scan.
+  const double indexedRate = engine.totalRate();
+  engine.disableLevelIndex();
+  EXPECT_NEAR(engine.totalRate(), indexedRate, 1e-9 * (1.0 + indexedRate));
+  // The scan path finishes the job from the handed-off multiset.
+  while (engine.step()) {
+  }
+  EXPECT_LE(engine.state().maxLoad - engine.state().minLoad, 1);
+}
+
 TEST(JumpEngine, OffsetConstructorContinuesClock) {
   // The hybrid hand-off constructor must resume time and move accounting.
   auto ms = ds::LoadMultiset::fromLoads({6, 2, 2, 2});

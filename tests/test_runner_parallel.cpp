@@ -37,6 +37,42 @@ bool bitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
 }
 
+#if defined(__SANITIZE_THREAD__)
+#define RLSLB_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RLSLB_TEST_UNDER_TSAN 1
+#endif
+#endif
+
+#if !defined(NDEBUG) && !defined(RLSLB_TEST_UNDER_TSAN)
+TEST(ThreadPoolDeathTest, NestedParallelForAbortsWithDiagnostic) {
+  // The documented non-nestable contract: nesting on a pool with workers
+  // would corrupt the single job slot and deadlock; debug builds must
+  // abort with a message instead. (Skipped under TSan: fork-based death
+  // tests and the sanitizer runtime do not mix.)
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ThreadPool pool(3);
+  EXPECT_DEATH(
+      pool.parallelFor(4,
+                       [&](std::int64_t) {
+                         pool.parallelFor(2, [](std::int64_t) {});
+                       }),
+      "not reentrant");
+}
+#endif
+
+TEST(ThreadPool, SerialPoolNestingRunsInline) {
+  // A 1-thread pool has no job slot (parallelFor runs inline), so nesting
+  // is harmless there and stays permitted.
+  ThreadPool pool(1);
+  std::int64_t total = 0;
+  pool.parallelFor(3, [&](std::int64_t) {
+    pool.parallelFor(2, [&](std::int64_t) { ++total; });
+  });
+  EXPECT_EQ(total, 6);
+}
+
 TEST(ThreadPool, SizeAccounting) {
   EXPECT_GE(ThreadPool(0).size(), 1);  // hardware concurrency, caller included
   EXPECT_EQ(ThreadPool(1).size(), 1);

@@ -130,8 +130,8 @@ TEST(ScenarioContext, ScalingHelpers) {
 // --------------------------------------------------- determinism contract
 
 /// JSONL minus the wall-clock record types ("manifest", "timing",
-/// "scenario_end"): the part of the stream the contract says is
-/// byte-identical.
+/// "throughput", "scenario_end"): the part of the stream the contract says
+/// is byte-identical.
 std::string deterministicRecords(const std::string& jsonl) {
   std::istringstream in(jsonl);
   std::string line;
@@ -141,7 +141,10 @@ std::string deterministicRecords(const std::string& jsonl) {
     const report::Json rec = report::Json::parse(line, &error);
     EXPECT_TRUE(error.empty()) << error;
     const std::string& type = rec.at("type").asString();
-    if (type == "manifest" || type == "timing" || type == "scenario_end") continue;
+    if (type == "manifest" || type == "timing" || type == "throughput" ||
+        type == "scenario_end") {
+      continue;
+    }
     out += line;
     out.push_back('\n');
   }
