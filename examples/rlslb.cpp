@@ -1,6 +1,9 @@
 // rlslb -- the unified experiment driver over the scenario registry.
 //
 //   rlslb list                         enumerate registered scenarios
+//   rlslb processes                    enumerate registered process kinds
+//   rlslb describe <name...>           print a scenario's or process kind's
+//                                      parameter spec (keys, types, defaults)
 //   rlslb run <name...> [flags] [k=v]  run one or more scenarios by name
 //   rlslb all [flags] [k=v]            run the whole roster, name order
 //   rlslb serve <kind...> [flags] [k=v]  serving-subsystem sugar:
@@ -25,9 +28,11 @@
 // runs, thread counts, and machines (see report/result_sink.hpp).
 #include <cstdio>
 #include <exception>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "process/registry.hpp"
 #include "scenario/harness.hpp"
 
 using namespace rlslb;
@@ -37,13 +42,53 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list\n"
+               "       %s processes\n"
+               "       %s describe <scenario-or-process...>\n"
                "       %s run <scenario...> [--scale=..] [--seed=..] [--reps=..]\n"
                "             [--threads=..] [--csv] [--out=FILE] [key=value...]\n"
                "       %s all [flags] [key=value...]\n"
                "       %s serve <kind...> [flags] [key=value...]\n"
                "              kinds: poisson bursty diurnal adversarial\n"
                "              (shorthand for `run serve_<kind>`)\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+void printParamSpec(const std::vector<process::ParamSpec>& params) {
+  if (params.empty()) {
+    std::cout << "  (no key=value parameters; the common knobs --scale/--seed/--reps/"
+                 "--threads still apply)\n";
+    return;
+  }
+  Table table({"param", "type", "default", "description"});
+  for (const process::ParamSpec& p : params) {
+    table.row().cell(p.name).cell(p.type).cell(p.defaultValue).cell(p.help);
+  }
+  table.print(std::cout, "parameters (pass as bare key=value tokens)");
+}
+
+/// `rlslb describe <name>`: scenario first, process kind second.
+int describeOne(const std::string& name, const scenario::ScenarioRegistry& scenarios,
+                const process::ProcessRegistry& processes) {
+  if (const scenario::Scenario* s = scenarios.find(name)) {
+    std::cout << "scenario " << s->name << "  [" << s->paperRef << "]\n"
+              << "  " << s->description << "\n\n";
+    printParamSpec(s->params);
+    return 0;
+  }
+  if (const process::ProcessSpec* p = processes.find(name)) {
+    std::cout << "process " << p->kind << "  (family: " << p->family << ")\n"
+              << "  " << p->description << "\n\n";
+    printParamSpec(p->params);
+    std::cout << "\nrun it through a comparison scenario, e.g. `rlslb run "
+                 "process_compare process="
+              << p->kind << " [key=value...]`\n";
+    return 0;
+  }
+  std::fprintf(stderr,
+               "unknown name '%s': neither a scenario (see `rlslb list`) nor a process "
+               "kind (see `rlslb processes`)\n",
+               name.c_str());
   return 2;
 }
 
@@ -84,7 +129,9 @@ int main(int argc, char** argv) {
   const CliArgs args(static_cast<int>(flagPtrs.size()), flagPtrs.data());
 
   scenario::registerBuiltinScenarios();
+  process::registerBuiltinProcesses();
   const scenario::ScenarioRegistry& registry = scenario::ScenarioRegistry::global();
+  const process::ProcessRegistry& processRegistry = process::ProcessRegistry::global();
 
   if (command == "list") {
     if (!names.empty() || !paramTokens.empty()) return usage(argv[0]);
@@ -99,8 +146,43 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout, "registered scenarios (" + std::to_string(registry.size()) + ")");
     std::cout << "\nrun one with: " << args.programName()
-              << " run <scenario> [--scale=small] [--out=results.jsonl] [key=value...]\n";
+              << " run <scenario> [--scale=small] [--out=results.jsonl] [key=value...]\n"
+              << "parameter specs: " << args.programName() << " describe <scenario>\n";
     return 0;
+  }
+
+  if (command == "processes") {
+    if (!names.empty() || !paramTokens.empty()) return usage(argv[0]);
+    const auto unknownFlags = args.unusedKeys();
+    if (!unknownFlags.empty()) {
+      for (const auto& k : unknownFlags) std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+      return 2;
+    }
+    Table table({"process", "family", "description"});
+    for (const process::ProcessSpec* p : processRegistry.list()) {
+      table.row().cell(p->kind).cell(p->family).cell(p->description);
+    }
+    table.print(std::cout, "registered process kinds (" +
+                               std::to_string(processRegistry.size()) + ")");
+    std::cout << "\ncompare them with: " << args.programName()
+              << " run process_compare process=<kind,...|all> [key=value...]\n"
+              << "parameter specs: " << args.programName() << " describe <kind>\n";
+    return 0;
+  }
+
+  if (command == "describe") {
+    if (names.empty() || !paramTokens.empty()) return usage(argv[0]);
+    const auto unknownFlags = args.unusedKeys();
+    if (!unknownFlags.empty()) {
+      for (const auto& k : unknownFlags) std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+      return 2;
+    }
+    int status = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) std::cout << '\n';
+      status = describeOne(names[i], registry, processRegistry) != 0 ? 2 : status;
+    }
+    return status;
   }
 
   if (command != "run" && command != "all") return usage(argv[0]);

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Self-contained-includes check for the installed public API surface.
+#
+# `cmake --install` ships every header under src/ to include/rlslb/, and
+# out-of-tree consumers (find_package(rlslb)) may include any of them first.
+# This script compiles each header as its own translation unit, so a header
+# that silently leans on a transitive include breaks HERE instead of in a
+# consumer build. CI runs it as the header-hygiene job; run it locally with
+#
+#     scripts/check_header_hygiene.sh [compiler]
+#
+# (default compiler: $CXX, else c++).
+set -u
+cd "$(dirname "$0")/.."
+
+CXX_BIN="${1:-${CXX:-c++}}"
+status=0
+checked=0
+tu="$(mktemp /tmp/header_hygiene_XXXXXX.cpp)"
+err="$(mktemp /tmp/header_hygiene_err_XXXXXX.txt)"
+trap 'rm -f "$tu" "$err"' EXIT
+
+for hdr in $(find src -name '*.hpp' | sort); do
+  checked=$((checked + 1))
+  # Wrap in a one-line TU: compiling the .hpp directly would trip
+  # -W#pragma-once-outside-header style warnings, and consumers include
+  # headers exactly like this anyway.
+  printf '#include "%s"\n' "${hdr#src/}" > "$tu"
+  if ! "$CXX_BIN" -std=c++20 -fsyntax-only -Isrc -Wall -Wextra -Werror \
+      "$tu" 2> "$err"; then
+    echo "NOT SELF-CONTAINED: $hdr"
+    sed 's/^/    /' "$err"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: all $checked public headers compile standalone ($CXX_BIN)"
+else
+  echo "FAIL: some headers are not self-contained (see above)"
+fi
+exit "$status"

@@ -29,6 +29,11 @@ sub-second windows):
 Limitation: a *uniform* slowdown across every scenario is
 indistinguishable from a slower machine and will not trip either gate;
 the uploaded artifact keeps the absolute numbers for human trend review.
+To narrow that blind spot, the check also inspects the *absolute*
+(un-normalized) ratios: when every gated scenario drifts in the same
+direction by more than --trend-threshold, it prints a non-gating
+WARNING (a uniform drift is either a machine-speed change or exactly
+the regression the normalization hides -- a human should look).
 
 Regenerate the baseline after an intentional perf change:
 
@@ -79,6 +84,10 @@ def main():
                     help="allowed machine-normalized events/sec regression "
                          "(default 0.35; wider than --tolerance because the "
                          "serving loops measure sub-second windows)")
+    ap.add_argument("--trend-threshold", type=float, default=0.10,
+                    help="non-gating uniform-drift warning: fires when every "
+                         "gated scenario's absolute ratio moves the same way "
+                         "by more than this (default 0.10 = 10%%)")
     args = ap.parse_args()
 
     walls, throughput = load_metrics(args.results)
@@ -169,6 +178,31 @@ def main():
                 failures.append(name)
             print(f"{name:24} {baseline_throughput[name]:12.0f} "
                   f"{throughput[name]:12.0f} {slowdown:9.3f} {rel:9.3f}  {verdict}")
+
+    # Non-gating uniform-drift trend warning from the ABSOLUTE ratios: the
+    # median normalization above cancels any across-the-board movement, so a
+    # uniform slowdown sails through the gates -- surface it loudly instead
+    # of silently. Throughput slowdowns join the wall-clock ratios (both are
+    # "current is slower when > 1").
+    drift = list(ratios.values())
+    drift += [baseline_throughput[n] / throughput[n]
+              for n in baseline_throughput if throughput.get(n, 0) > 0]
+    if len(drift) >= 3:
+        up = 1.0 + args.trend_threshold
+        down = 1.0 - args.trend_threshold
+        if all(r > up for r in drift):
+            print(f"WARNING: uniform drift -- every gated scenario is >"
+                  f"{args.trend_threshold:.0%} slower than the baseline in "
+                  f"absolute numbers (min ratio {min(drift):.3f}). The "
+                  f"machine-speed normalization cannot distinguish a slower "
+                  f"machine from an across-the-board regression; compare the "
+                  f"results.jsonl artifact against a recent run from the "
+                  f"same runner class before trusting this pass.")
+        elif all(r < down for r in drift):
+            print(f"note: uniform speedup -- every gated scenario is >"
+                  f"{args.trend_threshold:.0%} faster than the baseline in "
+                  f"absolute numbers (max ratio {max(drift):.3f}); likely a "
+                  f"faster machine, or the baseline is stale.")
 
     if failures:
         sys.exit(f"FAIL: regression >{args.tolerance:.0%} vs baseline "

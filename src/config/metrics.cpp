@@ -56,10 +56,19 @@ struct PlainLevel {
 }  // namespace
 
 Metrics computeMetrics(const Configuration& c) {
+  return computeMetrics(c.loads());
+}
+
+Metrics computeMetrics(const std::vector<std::int64_t>& loads) {
   std::vector<PlainLevel> singles;
-  singles.reserve(c.loads().size());
-  for (std::int64_t v : c.loads()) singles.push_back({v, 1});
-  return metricsFromLevels(singles.begin(), singles.end(), c.numBins(), c.numBalls());
+  singles.reserve(loads.size());
+  std::int64_t balls = 0;
+  for (std::int64_t v : loads) {
+    singles.push_back({v, 1});
+    balls += v;
+  }
+  return metricsFromLevels(singles.begin(), singles.end(),
+                           static_cast<std::int64_t>(loads.size()), balls);
 }
 
 Metrics computeMetrics(const ds::LoadMultiset& ms) {

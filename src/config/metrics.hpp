@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "config/configuration.hpp"
 #include "ds/load_multiset.hpp"
@@ -35,6 +36,9 @@ double discrepancy(std::int64_t minLoad, std::int64_t maxLoad, std::int64_t n, s
 
 /// Full metric sweep, O(n).
 Metrics computeMetrics(const Configuration& c);
+
+/// Same, directly from a load vector (no Configuration copy).
+Metrics computeMetrics(const std::vector<std::int64_t>& loads);
 
 /// Same metrics from the lumped multiset, O(#levels).
 Metrics computeMetrics(const ds::LoadMultiset& ms);

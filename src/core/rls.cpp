@@ -23,6 +23,8 @@ std::unique_ptr<sim::Engine> makeEngine(const config::Configuration& initial,
 
 sim::RunResult balance(const config::Configuration& initial, const SimOptions& options,
                        sim::Target target, const sim::RunLimits& limits, sim::Probe* probe) {
+  // Thin wrapper over the unified process API: sim::runUntil delegates to
+  // process::run, the one loop every balancing dynamic shares.
   auto engine = makeEngine(initial, options);
   return sim::runUntil(*engine, target, limits, probe);
 }

@@ -1,7 +1,7 @@
 #include "dynamic/open_system.hpp"
 
-#include <algorithm>
-
+#include "process/adapters.hpp"
+#include "process/process.hpp"
 #include "rng/distributions.hpp"
 #include "util/assert.hpp"
 
@@ -11,6 +11,7 @@ OpenSystem::OpenSystem(std::int64_t numBins, const OpenSystemOptions& options, s
                        const config::Configuration* initial)
     : loads_(initial != nullptr ? initial->loads()
                                 : std::vector<std::int64_t>(static_cast<std::size_t>(numBins), 0)),
+      tracker_(loads_),
       ballMass_(loads_),
       options_(options),
       eng_(seed) {
@@ -24,6 +25,7 @@ OpenSystem::OpenSystem(std::int64_t numBins, const OpenSystemOptions& options, s
 }
 
 void OpenSystem::addBall(std::size_t bin) {
+  tracker_.onLoadChange(loads_[bin], loads_[bin] + 1);
   ++loads_[bin];
   ballMass_.add(bin, +1);
   ++balls_;
@@ -31,6 +33,7 @@ void OpenSystem::addBall(std::size_t bin) {
 
 void OpenSystem::removeBall(std::size_t bin) {
   RLSLB_ASSERT(loads_[bin] >= 1);
+  tracker_.onLoadChange(loads_[bin], loads_[bin] - 1);
   --loads_[bin];
   ballMass_.add(bin, -1);
   --balls_;
@@ -82,20 +85,10 @@ bool OpenSystem::step() {
 }
 
 std::int64_t OpenSystem::runUntilTime(double time) {
-  std::int64_t events = 0;
-  while (time_ < time) {
-    if (!step()) break;
-    ++events;
-  }
-  return events;
-}
-
-std::int64_t OpenSystem::maxLoad() const {
-  return *std::max_element(loads_.begin(), loads_.end());
-}
-
-std::int64_t OpenSystem::minLoad() const {
-  return *std::min_element(loads_.begin(), loads_.end());
+  process::OpenProcess self(*this);
+  process::RunLimits limits;
+  limits.maxTime = time;
+  return process::run(self, process::Target::none(), limits).events;
 }
 
 }  // namespace rlslb::dynamic

@@ -25,6 +25,7 @@
 #include "config/configuration.hpp"
 #include "ds/fenwick.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "sim/balance_tracker.hpp"
 #include "sim/engine.hpp"
 
 namespace rlslb::dynamic {
@@ -45,7 +46,8 @@ class OpenSystem {
   /// Returns false only if the system is empty AND arrivals are disabled.
   bool step();
 
-  /// Run until `time`; returns the number of events processed.
+  /// Run until `time`; returns the number of events processed. Thin
+  /// wrapper over process::run via process::OpenProcess.
   std::int64_t runUntilTime(double time);
 
   [[nodiscard]] double time() const { return time_; }
@@ -53,10 +55,14 @@ class OpenSystem {
   [[nodiscard]] std::int64_t numBalls() const { return balls_; }
   [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
 
-  [[nodiscard]] std::int64_t maxLoad() const;
-  [[nodiscard]] std::int64_t minLoad() const;
+  /// O(1) balance view; numBalls tracks the live population.
+  [[nodiscard]] const sim::BalanceState& state() const { return tracker_.state(); }
+
+  [[nodiscard]] std::int64_t maxLoad() const { return tracker_.state().maxLoad; }
+  [[nodiscard]] std::int64_t minLoad() const { return tracker_.state().minLoad; }
   /// max - min; the open-system analogue of the discrepancy (the average
-  /// itself fluctuates with the ball count).
+  /// itself fluctuates with the ball count). O(1) via the tracker (it used
+  /// to be two O(n) scans, which dominated spread-sampling loops).
   [[nodiscard]] std::int64_t spread() const { return maxLoad() - minLoad(); }
 
   struct Counters {
@@ -69,6 +75,7 @@ class OpenSystem {
 
  private:
   std::vector<std::int64_t> loads_;
+  sim::BalanceTracker tracker_;
   ds::Fenwick<std::int64_t> ballMass_;
   OpenSystemOptions options_;
   rng::Xoshiro256pp eng_;

@@ -1,5 +1,7 @@
 #include "ext/speed_rls.hpp"
 
+#include "process/adapters.hpp"
+#include "process/process.hpp"
 #include "rng/distributions.hpp"
 #include "util/assert.hpp"
 
@@ -9,6 +11,7 @@ SpeedRlsEngine::SpeedRlsEngine(const config::Configuration& initial,
                                std::vector<std::int64_t> speeds, std::uint64_t seed)
     : loads_(initial.loads()),
       speeds_(std::move(speeds)),
+      tracker_(loads_),
       ballMass_(initial.loads()),
       eng_(seed),
       balls_(initial.numBalls()) {
@@ -31,7 +34,9 @@ bool SpeedRlsEngine::step() {
   // Strict improvement: (l_dst + 1)/s_dst < l_src/s_src, exactly.
   if ((loads_[dst] + 1) * speeds_[src] >= loads_[src] * speeds_[dst]) return false;
 
+  tracker_.onLoadChange(loads_[src], loads_[src] - 1);
   --loads_[src];
+  tracker_.onLoadChange(loads_[dst], loads_[dst] + 1);
   ++loads_[dst];
   ballMass_.add(src, -1);
   ballMass_.add(dst, +1);
@@ -73,25 +78,17 @@ double SpeedRlsEngine::weightedDiscrepancy() const {
 
 SpeedRlsEngine::RunResult SpeedRlsEngine::runUntilEquilibrium(std::int64_t maxActivations,
                                                               std::int64_t checkEvery) {
-  if (checkEvery <= 0) checkEvery = std::max<std::int64_t>(1, static_cast<std::int64_t>(loads_.size()) / 4);
-  RunResult r;
-  std::int64_t sinceCheck = checkEvery;  // check before the first step
-  while (activations_ < maxActivations) {
-    if (sinceCheck >= checkEvery) {
-      sinceCheck = 0;
-      if (isEquilibrium()) {
-        r.reachedEquilibrium = true;
-        break;
-      }
-    }
-    step();
-    ++sinceCheck;
-  }
-  if (!r.reachedEquilibrium) r.reachedEquilibrium = isEquilibrium();
-  r.time = time_;
-  r.activations = activations_;
-  r.moves = moves_;
-  return r;
+  process::SpeedProcess self(*this, checkEvery);
+  process::RunLimits limits;
+  limits.maxEvents = maxActivations - activations_;  // budget is cumulative
+  const process::RunResult r =
+      process::run(self, process::Target::equilibrium(), limits);
+  RunResult out;
+  out.time = r.time;
+  out.activations = r.activations;
+  out.moves = r.moves;
+  out.reachedEquilibrium = r.reachedTarget;
+  return out;
 }
 
 }  // namespace rlslb::ext

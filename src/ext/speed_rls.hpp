@@ -18,6 +18,7 @@
 #include "config/configuration.hpp"
 #include "ds/fenwick.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "sim/balance_tracker.hpp"
 
 namespace rlslb::ext {
 
@@ -35,6 +36,9 @@ class SpeedRlsEngine {
   [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
   [[nodiscard]] const std::vector<std::int64_t>& speeds() const { return speeds_; }
 
+  /// O(1) balance view over the *raw* (unweighted-by-speed) loads.
+  [[nodiscard]] const sim::BalanceState& state() const { return tracker_.state(); }
+
   /// Exact Nash test, O(n).
   [[nodiscard]] bool isEquilibrium() const;
 
@@ -47,13 +51,15 @@ class SpeedRlsEngine {
     std::int64_t moves = 0;
     bool reachedEquilibrium = false;
   };
-  /// Run until Nash equilibrium (checked every `checkEvery` activations) or
-  /// the activation budget runs out.
+  /// Run until Nash equilibrium (checked every `checkEvery` activations;
+  /// <= 0 selects the n/4 default) or the activation budget runs out. Thin
+  /// wrapper over process::run via process::SpeedProcess.
   RunResult runUntilEquilibrium(std::int64_t maxActivations, std::int64_t checkEvery = 0);
 
  private:
   std::vector<std::int64_t> loads_;
   std::vector<std::int64_t> speeds_;
+  sim::BalanceTracker tracker_;
   ds::Fenwick<std::int64_t> ballMass_;
   rng::Xoshiro256pp eng_;
   std::int64_t balls_;

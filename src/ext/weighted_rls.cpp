@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "process/adapters.hpp"
+#include "process/process.hpp"
 #include "rng/distributions.hpp"
 #include "util/assert.hpp"
 
@@ -21,6 +23,7 @@ WeightedRlsEngine::WeightedRlsEngine(std::int64_t numBins, std::vector<std::int6
     loads_[ballBin_[b]] += weights_[b];
     totalWeight_ += weights_[b];
   }
+  tracker_.reset(loads_);
 }
 
 bool WeightedRlsEngine::step() {
@@ -39,7 +42,9 @@ bool WeightedRlsEngine::step() {
   // Move iff not worsening: new experienced load l_dst + w <= current l_src.
   if (loads_[dst] + w > loads_[src]) return false;
 
+  tracker_.onLoadChange(loads_[src], loads_[src] - w);
   loads_[src] -= w;
+  tracker_.onLoadChange(loads_[dst], loads_[dst] + w);
   loads_[dst] += w;
   ballBin_[ball] = dst;
   ++moves_;
@@ -63,29 +68,18 @@ std::int64_t WeightedRlsEngine::weightedSpread() const {
 
 WeightedRlsEngine::RunResult WeightedRlsEngine::runUntilEquilibrium(std::int64_t maxActivations,
                                                                     std::int64_t checkEvery) {
-  if (checkEvery <= 0) {
-    checkEvery = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(loads_.size() + weights_.size()) / 4);
-  }
-  RunResult r;
-  std::int64_t sinceCheck = checkEvery;
-  while (activations_ < maxActivations) {
-    if (sinceCheck >= checkEvery) {
-      sinceCheck = 0;
-      if (isEquilibrium()) {
-        r.reachedEquilibrium = true;
-        break;
-      }
-    }
-    step();
-    ++sinceCheck;
-  }
-  if (!r.reachedEquilibrium) r.reachedEquilibrium = isEquilibrium();
-  r.time = time_;
-  r.activations = activations_;
-  r.moves = moves_;
-  r.finalSpread = weightedSpread();
-  return r;
+  process::WeightedProcess self(*this, checkEvery);
+  process::RunLimits limits;
+  limits.maxEvents = maxActivations - activations_;  // budget is cumulative
+  const process::RunResult r =
+      process::run(self, process::Target::equilibrium(), limits);
+  RunResult out;
+  out.time = r.time;
+  out.activations = r.activations;
+  out.moves = r.moves;
+  out.reachedEquilibrium = r.reachedTarget;
+  out.finalSpread = weightedSpread();
+  return out;
 }
 
 }  // namespace rlslb::ext

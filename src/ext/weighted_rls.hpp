@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "rng/xoshiro256pp.hpp"
+#include "sim/balance_tracker.hpp"
 
 namespace rlslb::ext {
 
@@ -36,6 +37,12 @@ class WeightedRlsEngine {
   [[nodiscard]] std::int64_t moves() const { return moves_; }
   [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
   [[nodiscard]] std::int64_t totalWeight() const { return totalWeight_; }
+  [[nodiscard]] std::int64_t numBalls() const {
+    return static_cast<std::int64_t>(weights_.size());
+  }
+
+  /// O(1) balance view in weight units (state().numBalls == totalWeight()).
+  [[nodiscard]] const sim::BalanceState& state() const { return tracker_.state(); }
 
   /// Exact Nash test (no ball can strictly improve), O(n + m).
   [[nodiscard]] bool isEquilibrium() const;
@@ -50,10 +57,13 @@ class WeightedRlsEngine {
     bool reachedEquilibrium = false;
     std::int64_t finalSpread = 0;
   };
+  /// Thin wrapper over process::run via process::WeightedProcess;
+  /// `checkEvery` <= 0 selects the (n + m)/4 default.
   RunResult runUntilEquilibrium(std::int64_t maxActivations, std::int64_t checkEvery = 0);
 
  private:
   std::vector<std::int64_t> loads_;       // total weight per bin
+  sim::BalanceTracker tracker_;
   std::vector<std::int64_t> weights_;     // per ball
   std::vector<std::uint32_t> ballBin_;    // per ball
   rng::Xoshiro256pp eng_;

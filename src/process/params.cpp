@@ -1,0 +1,51 @@
+#include "process/params.hpp"
+
+#include "util/parse.hpp"
+
+namespace rlslb::process {
+
+bool ProcessParams::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  used_[name] = true;
+  return true;
+}
+
+std::string ProcessParams::getString(const std::string& name, const std::string& dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  return it->second;
+}
+
+std::int64_t ProcessParams::getInt(const std::string& name, std::int64_t dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  return util::parseInt64(it->second, name);
+}
+
+double ProcessParams::getDouble(const std::string& name, double dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  return util::parseDouble(it->second, name);
+}
+
+bool ProcessParams::getBool(const std::string& name, bool dflt) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  used_[name] = true;
+  return util::parseBool(it->second, name);
+}
+
+std::vector<std::string> ProcessParams::unusedKeys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : values_) {
+    const auto it = used_.find(k);
+    if (it == used_.end() || !it->second) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace rlslb::process

@@ -1,0 +1,68 @@
+// Process parameter layer: typed `key=value` construction knobs plus the
+// declared spec that makes them discoverable.
+//
+// Mirrors scenario/params.hpp one layer down: a ProcessParams is the bag of
+// overrides handed to ProcessRegistry::make, and every registered
+// ProcessSpec *declares* its accepted keys as ParamSpec entries (name, type,
+// default, one-line help). The declaration drives two things:
+//   - `rlslb describe <kind>` prints the spec, so knobs are discoverable
+//     without reading source;
+//   - the scenario layer forwards exactly the declared keys from its own
+//     `key=value` overrides into the process construction, keeping one
+//     spelling of every knob across both layers.
+// Keys never consumed by the make function are reported by unusedKeys();
+// the registry aborts construction on them, so a typo'd knob fails loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rlslb::process {
+
+/// One declared parameter of a process kind (or of a scenario; the scenario
+/// registry reuses this type for its own `describe` output).
+struct ParamSpec {
+  std::string name;
+  std::string type;          // "int" | "double" | "bool" | "string"
+  std::string defaultValue;  // human-readable (may describe a derived value)
+  std::string help;          // one line
+};
+
+class ProcessParams {
+ public:
+  ProcessParams() = default;
+
+  void set(const std::string& name, const std::string& value) { values_[name] = value; }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string getString(const std::string& name, const std::string& dflt) const;
+  /// Integers accept scientific shorthand ("1e6"); aborts on malformed
+  /// values (util/parse.hpp).
+  [[nodiscard]] std::int64_t getInt(const std::string& name, std::int64_t dflt) const;
+  [[nodiscard]] double getDouble(const std::string& name, double dflt) const;
+  [[nodiscard]] bool getBool(const std::string& name, bool dflt) const;
+
+  /// Keys no getter has consumed; ProcessRegistry::make throws when the
+  /// make function left any behind.
+  [[nodiscard]] std::vector<std::string> unusedKeys() const;
+
+  /// Copy of the values with a clean usage slate. The registry validates
+  /// each make() call against a fresh copy, so one ProcessParams can be
+  /// reused across kinds (and across replication threads: freshCopy only
+  /// reads the value map).
+  [[nodiscard]] ProcessParams freshCopy() const {
+    ProcessParams out;
+    out.values_ = values_;
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace rlslb::process

@@ -1,0 +1,371 @@
+#include "process/registry.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "dynamic/open_system.hpp"
+#include "ext/speed_rls.hpp"
+#include "ext/weighted_rls.hpp"
+#include "graph/graph_engine.hpp"
+#include "graph/topology.hpp"
+#include "process/adapters.hpp"
+#include "protocols/crs.hpp"
+#include "protocols/edm.hpp"
+#include "protocols/repeated.hpp"
+#include "protocols/selfish.hpp"
+#include "protocols/threshold.hpp"
+#include "rng/distributions.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/hybrid_engine.hpp"
+#include "sim/jump_engine.hpp"
+#include "sim/naive_engine.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::process {
+
+ProcessRegistry& ProcessRegistry::global() {
+  static ProcessRegistry registry;
+  return registry;
+}
+
+void ProcessRegistry::add(ProcessSpec spec) {
+  RLSLB_ASSERT_MSG(!spec.kind.empty() && spec.make != nullptr,
+                   "process spec needs a kind and a make function");
+  const auto [it, inserted] = byKind_.emplace(spec.kind, std::move(spec));
+  if (!inserted) throw std::invalid_argument("duplicate process kind: " + it->first);
+}
+
+const ProcessSpec* ProcessRegistry::find(const std::string& kind) const {
+  const auto it = byKind_.find(kind);
+  return it == byKind_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ProcessSpec*> ProcessRegistry::list() const {
+  std::vector<const ProcessSpec*> out;
+  out.reserve(byKind_.size());
+  for (const auto& [_, s] : byKind_) out.push_back(&s);  // map order = kind order
+  return out;
+}
+
+std::unique_ptr<Process> ProcessRegistry::make(const std::string& kind,
+                                               const config::Configuration& initial,
+                                               std::uint64_t seed,
+                                               const ProcessParams& params) const {
+  const ProcessSpec* spec = find(kind);
+  if (spec == nullptr) {
+    std::string known;
+    for (const auto& [k, _] : byKind_) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    throw std::out_of_range("unknown process kind '" + kind + "' (known: " + known + ")");
+  }
+  // Validate against a fresh usage slate so one ProcessParams can serve
+  // several kinds (and several replication threads) in turn.
+  const ProcessParams local = params.freshCopy();
+  std::unique_ptr<Process> process = spec->make(initial, seed, local);
+  const auto unused = local.unusedKeys();
+  if (!unused.empty()) {
+    std::string list;
+    for (const auto& k : unused) {
+      if (!list.empty()) list += ", ";
+      list += k;
+    }
+    throw std::invalid_argument("process kind '" + kind + "' does not take parameter(s): " +
+                                list + " (see `rlslb describe " + kind + "`)");
+  }
+  return process;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- sim ---
+
+std::unique_ptr<Process> makeRls(const config::Configuration& initial, std::uint64_t seed,
+                                 const ProcessParams& params) {
+  Capabilities caps = EngineProcess::defaultCaps();
+  caps.gapRule = false;  // the hybrid's jump stage is gap-agnostic
+  return std::make_unique<EngineProcess>(
+      std::make_unique<sim::HybridEngine>(initial, seed,
+                                          params.getInt("level_threshold", 0)),
+      caps);
+}
+
+std::unique_ptr<Process> makeRlsNaive(const config::Configuration& initial, std::uint64_t seed,
+                                      const ProcessParams& params) {
+  return std::make_unique<EngineProcess>(
+      std::make_unique<sim::NaiveEngine>(initial, seed,
+                                         static_cast<int>(params.getInt("gap", 1))),
+      EngineProcess::defaultCaps());
+}
+
+std::unique_ptr<Process> makeRlsJump(const config::Configuration& initial, std::uint64_t seed,
+                                     const ProcessParams& params) {
+  (void)params;
+  Capabilities caps = EngineProcess::defaultCaps();
+  caps.countsActivations = false;  // jumps skip failed activations entirely
+  caps.gapRule = false;            // same lumped chain for >= and > rules
+  return std::make_unique<EngineProcess>(std::make_unique<sim::JumpEngine>(initial, seed),
+                                         caps);
+}
+
+// ---------------------------------------------------------- protocols ---
+
+std::unique_ptr<Process> makeSelfish(const config::Configuration& initial, std::uint64_t seed,
+                                     const ProcessParams& params) {
+  (void)params;
+  return std::make_unique<RoundProcess>(
+      std::make_unique<protocols::SelfishRerouting>(initial, seed));
+}
+
+std::unique_ptr<Process> makeEdm(const config::Configuration& initial, std::uint64_t seed,
+                                 const ProcessParams& params) {
+  (void)params;
+  return std::make_unique<RoundProcess>(
+      std::make_unique<protocols::EdmGlobalRerouting>(initial, seed));
+}
+
+std::unique_ptr<Process> makeRepeated(const config::Configuration& initial, std::uint64_t seed,
+                                      const ProcessParams& params) {
+  (void)params;
+  return std::make_unique<RoundProcess>(
+      std::make_unique<protocols::RepeatedBallsIntoBins>(initial, seed));
+}
+
+std::unique_ptr<Process> makeThreshold(const config::Configuration& initial, std::uint64_t seed,
+                                       const ProcessParams& params) {
+  std::int64_t threshold = params.getInt("threshold", -1);
+  if (threshold < 0) threshold = initial.floorAverage();
+  return std::make_unique<RoundProcess>(std::make_unique<protocols::ThresholdProtocol>(
+      initial, seed, threshold, params.getDouble("p", 0.5)));
+}
+
+std::unique_ptr<Process> makeCrs(const config::Configuration& initial, std::uint64_t seed,
+                                 const ProcessParams& params) {
+  (void)params;
+  // CRS owns its placement (random candidate pairs + Greedy[2]); only the
+  // shape (n, m) of the initial configuration is used.
+  return std::make_unique<CrsProcess>(std::make_unique<protocols::CrsProtocol>(
+      initial.numBins(), initial.numBalls(), seed));
+}
+
+// ----------------------------------------------------------------- ext ---
+
+std::vector<std::int64_t> speedRoster(const std::string& name, std::int64_t n) {
+  std::vector<std::int64_t> speeds(static_cast<std::size_t>(n), 1);
+  if (name == "uniform") return speeds;
+  if (name == "half2") {
+    for (std::int64_t i = n / 2; i < n; ++i) speeds[static_cast<std::size_t>(i)] = 2;
+    return speeds;
+  }
+  if (name == "thirds124") {
+    for (std::int64_t i = 0; i < n; ++i) {
+      speeds[static_cast<std::size_t>(i)] = i < n / 3 ? 1 : (i < 2 * n / 3 ? 2 : 4);
+    }
+    return speeds;
+  }
+  if (name == "one_fast8") {
+    speeds[static_cast<std::size_t>(n - 1)] = 8;
+    return speeds;
+  }
+  RLSLB_ASSERT_MSG(false, "speeds= must be uniform|half2|thirds124|one_fast8");
+  return speeds;
+}
+
+std::unique_ptr<Process> makeSpeedRls(const config::Configuration& initial, std::uint64_t seed,
+                                      const ProcessParams& params) {
+  return std::make_unique<SpeedProcess>(std::make_unique<ext::SpeedRlsEngine>(
+      initial, speedRoster(params.getString("speeds", "uniform"), initial.numBins()), seed));
+}
+
+std::unique_ptr<Process> makeWeightedRls(const config::Configuration& initial,
+                                         std::uint64_t seed, const ProcessParams& params) {
+  const std::int64_t n = initial.numBins();
+  const std::int64_t m = initial.numBalls();
+  RLSLB_ASSERT_MSG(m >= 1, "weighted_rls needs at least one ball");
+
+  // Weights: unit keeps one ball per load unit; the skewed rosters keep the
+  // expected total weight comparable to m with 1/4 as many balls (the E11
+  // convention).
+  const std::string dist = params.getString("weights", "unit");
+  rng::Xoshiro256pp weightEng(seed ^ 0xfeed);
+  std::vector<std::int64_t> weights;
+  if (dist == "unit") {
+    weights.assign(static_cast<std::size_t>(m), 1);
+  } else if (dist == "uniform8") {
+    weights.resize(static_cast<std::size_t>(std::max<std::int64_t>(1, m / 4)));
+    for (auto& w : weights) w = 1 + static_cast<std::int64_t>(rng::uniformIndex(weightEng, 8));
+  } else if (dist == "bimodal16") {
+    weights.resize(static_cast<std::size_t>(std::max<std::int64_t>(1, m / 4)));
+    for (auto& w : weights) w = rng::bernoulli(weightEng, 0.1) ? 16 : 1;
+  } else {
+    RLSLB_ASSERT_MSG(false, "weights= must be unit|uniform8|bimodal16");
+  }
+
+  // Start bins follow the configuration's shape: ball b sits where the
+  // (b mod m)-th ball of `initial` sits, so allInOne puts every weighted
+  // ball on bin 0 and balanced spreads them evenly.
+  std::vector<std::uint32_t> flat;
+  flat.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t bin = 0; bin < n; ++bin) {
+    for (std::int64_t k = 0; k < initial.load(static_cast<std::size_t>(bin)); ++k) {
+      flat.push_back(static_cast<std::uint32_t>(bin));
+    }
+  }
+  std::vector<std::uint32_t> start(weights.size());
+  for (std::size_t b = 0; b < start.size(); ++b) start[b] = flat[b % flat.size()];
+
+  return std::make_unique<WeightedProcess>(std::make_unique<ext::WeightedRlsEngine>(
+      n, std::move(weights), std::move(start), seed));
+}
+
+// --------------------------------------------------------------- graph ---
+
+std::unique_ptr<Process> makeGraphRls(const config::Configuration& initial, std::uint64_t seed,
+                                      const ProcessParams& params) {
+  const std::int64_t n = initial.numBins();
+  const std::string name = params.getString("topology", "complete");
+  auto topology = std::make_shared<graph::Topology>([&] {
+    if (name == "complete") return graph::Topology::complete(n);
+    if (name == "cycle") return graph::Topology::cycle(n);
+    if (name == "hypercube") {
+      int dim = 0;
+      while ((std::int64_t{1} << dim) < n) ++dim;
+      RLSLB_ASSERT_MSG((std::int64_t{1} << dim) == n, "hypercube topology needs n = 2^d");
+      return graph::Topology::hypercube(dim);
+    }
+    if (name == "torus") {
+      const auto side = static_cast<std::int64_t>(std::llround(std::sqrt(static_cast<double>(n))));
+      RLSLB_ASSERT_MSG(side * side == n, "torus topology needs square n");
+      return graph::Topology::torus(side, side);
+    }
+    if (name == "random_regular") {
+      // Topology randomness rides a dedicated stream off the process seed,
+      // so the graph is deterministic per (seed, degree).
+      rng::Xoshiro256pp topoEng(rng::streamSeed(seed, 0x746f706fULL));  // "topo"
+      return graph::Topology::randomRegular(
+          n, static_cast<int>(params.getInt("degree", 4)), topoEng);
+    }
+    RLSLB_ASSERT_MSG(false,
+                     "topology= must be complete|cycle|hypercube|torus|random_regular");
+    return graph::Topology::complete(n);
+  }());
+
+  Capabilities caps = EngineProcess::defaultCaps();
+  caps.topology = true;
+  auto engine = std::make_unique<graph::GraphRlsEngine>(
+      initial, *topology, seed, static_cast<int>(params.getInt("gap", 1)));
+  return std::make_unique<EngineProcess>(std::move(engine), caps, std::move(topology));
+}
+
+// -------------------------------------------------------------- dynamic ---
+
+std::unique_ptr<Process> makeOpen(const config::Configuration& initial, std::uint64_t seed,
+                                  const ProcessParams& params) {
+  dynamic::OpenSystemOptions options;
+  options.arrivalRatePerBin = params.getDouble("lambda", 0.5);
+  options.departureRate = params.getDouble("mu", 1.0);
+  options.arrivalChoices = static_cast<int>(params.getInt("d", 1));
+  options.gap = static_cast<int>(params.getInt("gap", 1));
+  return std::make_unique<OpenProcess>(std::make_unique<dynamic::OpenSystem>(
+      initial.numBins(), options, seed, &initial));
+}
+
+}  // namespace
+
+namespace {
+
+void addBuiltinProcesses(ProcessRegistry& registry) {
+  registry.add({"rls", "sim",
+                "the paper's RLS via the hybrid engine (naive until few levels, then jump)",
+                {{"level_threshold", "int", "0",
+                  "switch to the jump engine at this many distinct loads (0 = default 96)"}},
+                makeRls});
+  registry.add({"rls_naive", "sim",
+                "ground-truth RLS simulating every activation",
+                {{"gap", "int", "1",
+                  "move iff load(src) >= load(dst) + gap (1 = paper, 2 = strict variant)"}},
+                makeRlsNaive});
+  registry.add({"rls_jump", "sim",
+                "event-skipping exact simulator of the lumped RLS chain",
+                {},
+                makeRlsJump});
+
+  registry.add({"selfish", "protocols",
+                "synchronous selfish rerouting [4]: damped uniform-sample migration rounds",
+                {},
+                makeSelfish});
+  registry.add({"edm", "protocols",
+                "Even-Dar--Mansour global-average rerouting [10]",
+                {},
+                makeEdm});
+  registry.add({"threshold", "protocols",
+                "fixed-threshold synchronous protocol [1]",
+                {{"threshold", "int", "-1 (= floor(m/n))",
+                  "balls above this load migrate"},
+                 {"p", "double", "0.5", "per-ball migration probability"}},
+                makeThreshold});
+  registry.add({"repeated", "protocols",
+                "repeated balls-into-bins [2]: every non-empty bin re-throws one ball per round",
+                {},
+                makeRepeated});
+  registry.add({"crs", "protocols",
+                "CRS local search [9] over per-ball candidate pairs (uses only the (n, m) "
+                "shape of the initial configuration; placement is Greedy[2], seed-derived)",
+                {},
+                makeCrs});
+
+  registry.add({"speed_rls", "ext",
+                "bins with speeds: strict-improvement RLS to Nash equilibrium (Section 7)",
+                {{"speeds", "string", "uniform",
+                  "speed roster: uniform|half2|thirds124|one_fast8"}},
+                makeSpeedRls});
+  registry.add({"weighted_rls", "ext",
+                "weighted balls: non-worsening RLS to Nash equilibrium (Section 7); the "
+                "balance view is in weight units",
+                {{"weights", "string", "unit",
+                  "ball-weight distribution: unit|uniform8|bimodal16"}},
+                makeWeightedRls});
+
+  registry.add({"graph_rls", "graph",
+                "RLS with destinations restricted to a topology's neighbors (Section 7)",
+                {{"topology", "string", "complete",
+                  "complete|cycle|hypercube|torus|random_regular"},
+                 {"gap", "int", "1", "RLS acceptance gap"},
+                 {"degree", "int", "4", "degree of the random_regular topology"}},
+                makeGraphRls});
+
+  registry.add({"open", "dynamic",
+                "open-system RLS [11]: Poisson arrivals, per-ball departures, RLS migration",
+                {{"lambda", "double", "0.5", "arrivals per bin per time unit"},
+                 {"mu", "double", "1.0", "per-ball departure (service) rate"},
+                 {"d", "int", "1", "arrival samples d bins, joins the least loaded"},
+                 {"gap", "int", "1", "RLS acceptance gap"}},
+                makeOpen});
+}
+
+}  // namespace
+
+void registerBuiltinProcesses(ProcessRegistry& registry) {
+  if (&registry == &ProcessRegistry::global()) {
+    // makeProcess registers on first use and may be called from thread-pool
+    // workers (process::runReplicated), so the global registration must be
+    // race-free, not just idempotent.
+    static std::once_flag once;
+    std::call_once(once, [&registry] { addBuiltinProcesses(registry); });
+    return;
+  }
+  if (registry.find("rls") != nullptr) return;  // idempotent for fresh registries
+  addBuiltinProcesses(registry);
+}
+
+std::unique_ptr<Process> makeProcess(const std::string& kind,
+                                     const config::Configuration& initial, std::uint64_t seed,
+                                     const ProcessParams& params) {
+  registerBuiltinProcesses();
+  return ProcessRegistry::global().make(kind, initial, seed, params);
+}
+
+}  // namespace rlslb::process

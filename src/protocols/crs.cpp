@@ -1,5 +1,7 @@
 #include "protocols/crs.hpp"
 
+#include "process/adapters.hpp"
+#include "process/process.hpp"
 #include "rng/distributions.hpp"
 #include "util/assert.hpp"
 
@@ -11,6 +13,7 @@ CrsProtocol::CrsProtocol(std::int64_t n, std::int64_t m, std::uint64_t seed)
   balls_.resize(static_cast<std::size_t>(m));
   binBalls_.resize(static_cast<std::size_t>(n));
   loads_.assign(static_cast<std::size_t>(n), 0);
+  tracker_.reset(loads_);
 
   for (std::uint32_t b = 0; b < static_cast<std::uint32_t>(m); ++b) {
     const auto c0 = static_cast<std::uint32_t>(rng::uniformIndex(eng_, static_cast<std::uint64_t>(n)));
@@ -29,6 +32,7 @@ void CrsProtocol::place(std::uint32_t ballId, std::uint32_t whichCandidate) {
   ball.at = whichCandidate;
   const std::uint32_t bin = ball.candidate[whichCandidate];
   binBalls_[bin].push_back(ballId);
+  tracker_.onLoadChange(loads_[bin], loads_[bin] + 1);
   ++loads_[bin];
 }
 
@@ -41,6 +45,7 @@ void CrsProtocol::remove(std::uint32_t ballId) {
     if (bucket[i] == ballId) {
       bucket[i] = bucket.back();
       bucket.pop_back();
+      tracker_.onLoadChange(loads_[bin], loads_[bin] - 1);
       --loads_[bin];
       return;
     }
@@ -80,30 +85,20 @@ bool CrsProtocol::step() {
 }
 
 config::Metrics CrsProtocol::metrics() const {
-  return config::computeMetrics(config::Configuration(loads_));
+  return config::computeMetrics(loads_);
 }
-
-namespace {
-bool crsTargetReached(const config::Metrics& mm, std::int64_t x) {
-  return x == 0 ? mm.perfectlyBalanced : mm.discrepancy <= static_cast<double>(x);
-}
-}  // namespace
 
 std::int64_t CrsProtocol::runUntilBalanced(std::int64_t x, std::int64_t maxSteps) {
-  // Incremental min/max would be cheap, but CRS runs are comparatively
-  // short in the suite; check every `checkEvery` steps to amortize the O(n)
-  // scan without distorting the step count materially.
-  const std::int64_t checkEvery = std::max<std::int64_t>(1, n_ / 8);
-  std::int64_t sinceCheck = checkEvery;  // force a check before the first step
-  for (std::int64_t s = 0; s < maxSteps; ++s) {
-    if (sinceCheck >= checkEvery) {
-      sinceCheck = 0;
-      if (crsTargetReached(metrics(), x)) return steps_;
-    }
-    step();
-    ++sinceCheck;
-  }
-  return crsTargetReached(metrics(), x) ? steps_ : -1;
+  // Balance predicates are O(1) on the incremental state, so the loop stops
+  // at the exact step the target is reached (the historical n/8 check
+  // cadence only remains for the O(m) local-stability target below).
+  process::CrsProcess self(*this);
+  const process::Target target =
+      x == 0 ? process::Target::perfect() : process::Target::xBalanced(x);
+  process::RunLimits limits;
+  limits.maxEvents = maxSteps;
+  const process::RunResult r = process::run(self, target, limits);
+  return r.reachedTarget ? steps_ : -1;
 }
 
 std::int64_t CrsProtocol::runUntilPerfect(std::int64_t maxSteps) {
@@ -120,17 +115,11 @@ bool CrsProtocol::isLocallyStable() const {
 }
 
 std::int64_t CrsProtocol::runUntilStable(std::int64_t maxSteps) {
-  const std::int64_t checkEvery = std::max<std::int64_t>(1, n_ / 8);
-  std::int64_t sinceCheck = checkEvery;
-  for (std::int64_t s = 0; s < maxSteps; ++s) {
-    if (sinceCheck >= checkEvery) {
-      sinceCheck = 0;
-      if (isLocallyStable()) return steps_;
-    }
-    step();
-    ++sinceCheck;
-  }
-  return isLocallyStable() ? steps_ : -1;
+  process::CrsProcess self(*this);
+  process::RunLimits limits;
+  limits.maxEvents = maxSteps;
+  const process::RunResult r = process::run(self, process::Target::equilibrium(), limits);
+  return r.reachedTarget ? steps_ : -1;
 }
 
 }  // namespace rlslb::protocols

@@ -20,6 +20,7 @@
 
 #include "config/metrics.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "sim/balance_tracker.hpp"
 
 namespace rlslb::protocols {
 
@@ -40,6 +41,9 @@ class CrsProtocol {
   [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
 
   [[nodiscard]] config::Metrics metrics() const;
+
+  /// O(1) balance view, maintained incrementally by place()/remove().
+  [[nodiscard]] const sim::BalanceState& state() const { return tracker_.state(); }
 
   /// Run until perfectly balanced or the step budget is exhausted; returns
   /// steps taken, or -1 if the budget ran out first.
@@ -80,6 +84,7 @@ class CrsProtocol {
   std::vector<Ball> balls_;
   std::vector<std::vector<std::uint32_t>> binBalls_;  // ball ids per bin
   std::vector<std::int64_t> loads_;
+  sim::BalanceTracker tracker_;
   std::int64_t steps_ = 0;
   std::int64_t moves_ = 0;
 

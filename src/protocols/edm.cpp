@@ -6,8 +6,8 @@ namespace rlslb::protocols {
 
 void EdmGlobalRerouting::round() {
   const std::int64_t n = numBins();
-  const double avg = static_cast<double>(balls_) / static_cast<double>(n);
-  const std::vector<std::int64_t> before = loads_;
+  const double avg = static_cast<double>(numBalls()) / static_cast<double>(n);
+  const std::vector<std::int64_t> before = loads();
 
   std::vector<std::size_t> underloaded;
   for (std::size_t j = 0; j < before.size(); ++j) {
@@ -24,8 +24,7 @@ void EdmGlobalRerouting::round() {
     for (std::int64_t k = 0; k < migrants; ++k) {
       const std::size_t j =
           underloaded[static_cast<std::size_t>(rng::uniformIndex(eng_, underloaded.size()))];
-      --loads_[i];
-      ++loads_[j];
+      transferBall(i, j);
     }
   }
 }

@@ -5,18 +5,19 @@
 namespace rlslb::protocols {
 
 void RepeatedBallsIntoBins::round() {
-  const auto n = static_cast<std::uint64_t>(loads_.size());
+  const auto n = static_cast<std::uint64_t>(loads().size());
   // Release one ball from every non-empty bin...
   std::int64_t released = 0;
-  for (auto& v : loads_) {
-    if (v > 0) {
-      --v;
+  for (std::size_t i = 0; i < loads().size(); ++i) {
+    if (loads()[i] > 0) {
+      removeBall(i);
       ++released;
     }
   }
-  // ... and re-throw them independently and uniformly.
+  // ... and re-throw them independently and uniformly. Every re-throw is a
+  // relocation of its ball, so it counts as a move.
   for (std::int64_t k = 0; k < released; ++k) {
-    ++loads_[static_cast<std::size_t>(rng::uniformIndex(eng_, n))];
+    addBall(static_cast<std::size_t>(rng::uniformIndex(eng_, n)), /*countMove=*/true);
   }
 }
 

@@ -2,22 +2,33 @@
 
 #include <algorithm>
 
+#include "process/adapters.hpp"
+#include "process/process.hpp"
+
 namespace rlslb::protocols {
 
-bool RoundProtocol::balancedWithin(std::int64_t x) const {
+void RoundProtocol::refreshState() const {
+  state_.numBins = numBins();
+  state_.numBalls = balls_;
   const auto [mn, mx] = std::minmax_element(loads_.begin(), loads_.end());
-  const std::int64_t n = numBins();
-  if (x == 0) return config::isPerfectlyBalanced(*mn, *mx, n, balls_);
-  return config::isXBalancedInt(*mn, *mx, n, balls_, x);
+  state_.minLoad = *mn;
+  state_.maxLoad = *mx;
+  const std::int64_t ceilAvg = (balls_ + numBins() - 1) / numBins();
+  state_.overloadedBalls = 0;
+  for (const std::int64_t v : loads_) {
+    if (v > ceilAvg) state_.overloadedBalls += v - ceilAvg;
+  }
+  stateDirty_ = false;
 }
 
 std::int64_t RoundProtocol::runUntilBalanced(std::int64_t x, std::int64_t maxRounds) {
-  for (std::int64_t r = 0; r < maxRounds; ++r) {
-    if (balancedWithin(x)) return rounds_;
-    round();
-    ++rounds_;
-  }
-  return balancedWithin(x) ? rounds_ : -1;
+  process::RoundProcess self(*this);
+  const process::Target target =
+      x == 0 ? process::Target::perfect() : process::Target::xBalanced(x);
+  process::RunLimits limits;
+  limits.maxEvents = maxRounds;
+  const process::RunResult r = process::run(self, target, limits);
+  return r.reachedTarget ? rounds_ : -1;
 }
 
 }  // namespace rlslb::protocols

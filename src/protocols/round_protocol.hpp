@@ -2,6 +2,22 @@
 // and threshold load balancing). Unlike RLS these activate all balls
 // simultaneously in rounds; the paper compares one synchronous round to one
 // unit of continuous RLS time (m activations in expectation).
+//
+// Balance bookkeeping: subclasses mutate loads only through the
+// transferBall / removeBall / addBall primitives, which count moves and
+// mark the cached sim::BalanceState dirty; state() recomputes it in one
+// allocation-free O(n) sweep on first access after a round. Per-move
+// incremental tracking would be the wrong trade here -- a round rewrites
+// Theta(m) loads (the threshold protocol migrates thousands of balls per
+// round), while the stopping predicate is consulted once per round, so one
+// O(n) sweep per round beats m histogram updates by orders of magnitude.
+// The sweep replaces the old per-check O(n) Configuration copy +
+// computeMetrics allocation in runUntilBalanced; repeated state() calls
+// between rounds are O(1) on the cache.
+//
+// Run loop: runUntilBalanced is a thin wrapper over the generic
+// process::run via process::RoundProcess; rlslb's process registry exposes
+// every subclass as a process kind (selfish / edm / threshold / repeated).
 #pragma once
 
 #include <cstdint>
@@ -10,38 +26,85 @@
 #include "config/configuration.hpp"
 #include "config/metrics.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "sim/engine.hpp"
 
 namespace rlslb::protocols {
 
 class RoundProtocol {
  public:
   explicit RoundProtocol(const config::Configuration& initial, std::uint64_t seed)
-      : loads_(initial.loads()), balls_(initial.numBalls()), eng_(seed) {}
+      : eng_(seed), loads_(initial.loads()), balls_(initial.numBalls()) {}
   virtual ~RoundProtocol() = default;
 
-  /// Execute one synchronous round.
+  /// Execute one synchronous round (does not advance the round counter;
+  /// runUntilBalanced / runRound own it).
   virtual void round() = 0;
+
+  /// One process-level event: execute a round and advance the counter.
+  void runRound() {
+    round();
+    ++rounds_;
+  }
 
   [[nodiscard]] std::int64_t numBins() const { return static_cast<std::int64_t>(loads_.size()); }
   [[nodiscard]] std::int64_t numBalls() const { return balls_; }
   [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
   [[nodiscard]] std::int64_t roundsTaken() const { return rounds_; }
+  /// Individual ball relocations across all rounds so far.
+  [[nodiscard]] std::int64_t moves() const { return moves_; }
 
-  [[nodiscard]] config::Metrics metrics() const {
-    return config::computeMetrics(config::Configuration(loads_));
+  /// The shared balance view. Cached; recomputed in one O(n) sweep when
+  /// loads changed since the last call (amortized against the Omega(n)
+  /// round that dirtied it).
+  [[nodiscard]] const sim::BalanceState& state() const {
+    if (stateDirty_) refreshState();
+    return state_;
   }
+
+  /// Full metric sweep (reporting; stopping checks use state()).
+  [[nodiscard]] config::Metrics metrics() const { return config::computeMetrics(loads_); }
 
   /// Run until x-balanced (x = 0 means perfectly balanced, disc < 1) or the
   /// round budget is exhausted. Returns rounds taken; -1 if not reached.
+  /// Thin wrapper over process::run (process/process.hpp).
   std::int64_t runUntilBalanced(std::int64_t x, std::int64_t maxRounds);
 
  protected:
+  /// Move one ball src -> dst. No-op when src == dst.
+  void transferBall(std::size_t src, std::size_t dst) {
+    if (src == dst) return;
+    RLSLB_ASSERT(loads_[src] >= 1);
+    --loads_[src];
+    ++loads_[dst];
+    ++moves_;
+    stateDirty_ = true;
+  }
+
+  /// Bulk primitives for protocols that release and re-throw (repeated
+  /// balls-into-bins). removeBall does not count as a move; the re-throw
+  /// (addBall) does, since that is the relocation.
+  void removeBall(std::size_t bin) {
+    RLSLB_ASSERT(loads_[bin] >= 1);
+    --loads_[bin];
+    stateDirty_ = true;
+  }
+  void addBall(std::size_t bin, bool countMove = false) {
+    ++loads_[bin];
+    if (countMove) ++moves_;
+    stateDirty_ = true;
+  }
+
+  rng::Xoshiro256pp eng_;
+
+ private:
+  void refreshState() const;
+
   std::vector<std::int64_t> loads_;
   std::int64_t balls_;
-  rng::Xoshiro256pp eng_;
   std::int64_t rounds_ = 0;
-
-  [[nodiscard]] bool balancedWithin(std::int64_t x) const;
+  std::int64_t moves_ = 0;
+  mutable sim::BalanceState state_;
+  mutable bool stateDirty_ = true;
 };
 
 }  // namespace rlslb::protocols

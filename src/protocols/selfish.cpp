@@ -5,8 +5,8 @@
 namespace rlslb::protocols {
 
 void SelfishRerouting::round() {
-  const auto n = static_cast<std::uint64_t>(loads_.size());
-  const std::vector<std::int64_t> before = loads_;  // decisions use round-start loads
+  const auto n = static_cast<std::uint64_t>(loads().size());
+  const std::vector<std::int64_t> before = loads();  // decisions use round-start loads
   for (std::size_t i = 0; i < before.size(); ++i) {
     const std::int64_t li = before[i];
     for (std::int64_t ball = 0; ball < li; ++ball) {
@@ -14,10 +14,7 @@ void SelfishRerouting::round() {
       const std::int64_t lj = before[j];
       if (lj >= li) continue;
       const double p = 1.0 - static_cast<double>(lj) / static_cast<double>(li);
-      if (rng::bernoulli(eng_, p)) {
-        --loads_[i];
-        ++loads_[j];
-      }
+      if (rng::bernoulli(eng_, p)) transferBall(i, j);
     }
   }
 }

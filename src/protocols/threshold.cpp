@@ -13,8 +13,8 @@ ThresholdProtocol::ThresholdProtocol(const config::Configuration& initial, std::
 }
 
 void ThresholdProtocol::round() {
-  const auto n = static_cast<std::uint64_t>(loads_.size());
-  const std::vector<std::int64_t> before = loads_;
+  const auto n = static_cast<std::uint64_t>(loads().size());
+  const std::vector<std::int64_t> before = loads();
   for (std::size_t i = 0; i < before.size(); ++i) {
     if (before[i] <= threshold_) continue;
     // Every ball on an above-threshold bin flips the same coin; the number
@@ -22,9 +22,7 @@ void ThresholdProtocol::round() {
     const std::int64_t migrants = rng::binomial(eng_, before[i], moveProbability_);
     for (std::int64_t k = 0; k < migrants; ++k) {
       const auto j = static_cast<std::size_t>(rng::uniformIndex(eng_, n));
-      if (j == i) continue;
-      --loads_[i];
-      ++loads_[j];
+      transferBall(i, j);  // no-op when j == i, matching the sampled-self skip
     }
   }
 }

@@ -142,7 +142,8 @@ void runAblation(ScenarioContext& ctx) {
 
 void registerAblation(ScenarioRegistry& r) {
   r.add({"ablation", "design ablations: engine choice, hybrid threshold, gap",
-         "docs/EXPERIMENTS.md ablations", runAblation});
+         "docs/EXPERIMENTS.md ablations", runAblation,
+         {{"n", "int", "1024 (scaled, even)", "bins"}}});
 }
 
 }  // namespace rlslb::scenario::builtin

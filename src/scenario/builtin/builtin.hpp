@@ -37,5 +37,6 @@ void registerTrajectory(ScenarioRegistry& r);     // e15_trajectory
 void registerAblation(ScenarioRegistry& r);       // ablation
 void registerMicroSubstrate(ScenarioRegistry& r); // micro_substrate
 void registerServe(ScenarioRegistry& r);          // serve_poisson/bursty/diurnal/adversarial
+void registerProcessCompare(ScenarioRegistry& r); // process_compare
 
 }  // namespace rlslb::scenario::builtin

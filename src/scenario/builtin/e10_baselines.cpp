@@ -13,28 +13,36 @@
 //     trade-off the paper discusses.
 // (D) Self-stabilizing repeated balls-into-bins [2] at m = n.
 #include <cmath>
-#include <functional>
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "config/generators.hpp"
 #include "core/rls.hpp"
-#include "protocols/crs.hpp"
-#include "protocols/edm.hpp"
-#include "protocols/repeated.hpp"
-#include "protocols/selfish.hpp"
-#include "protocols/threshold.hpp"
+#include "process/registry.hpp"
 #include "rng/xoshiro256pp.hpp"
 #include "runner/replication.hpp"
 #include "scenario/builtin/builtin.hpp"
 #include "stats/summary.hpp"
 #include "stats/tests.hpp"
+#include "util/assert.hpp"
+#include "util/parse.hpp"
 
 namespace rlslb::scenario::builtin {
 
 namespace {
 
 void runBaselines(ScenarioContext& ctx) {
+  // Baseline protocols are constructed through the process registry (one
+  // construction path for every dynamic); register before the parallel
+  // replication sweeps so the registry is read-only under the pool.
+  process::registerBuiltinProcesses();
+
+  // `process=` filters the synchronous roster of section (C), e.g.
+  //   rlslb run e10_baselines process=threshold
+  const std::string processFilter = ctx.params.getString("process", "");
+
   // ------------------------------------------------ (A) strict variant
   {
     Table table({"n", "m", "reps", "E[T] gap=1", "E[T] gap=2", "MWU p-value", "verdict"});
@@ -87,11 +95,15 @@ void runBaselines(ScenarioContext& ctx) {
             o.seed = seed ^ 0x5555;
             const auto r = core::balance(start, o);
 
-            protocols::CrsProtocol crs(n, m, seed ^ 0x9999);
-            const std::int64_t draws = crs.runUntilStable(200'000'000);
-            return std::vector<double>{static_cast<double>(r.activations), r.time,
-                                       static_cast<double>(draws),
-                                       crs.metrics().discrepancy};
+            // CRS through the registry (uses only the (n, m) shape; its
+            // candidate pairs and Greedy[2] placement are seed-derived).
+            auto crs = process::makeProcess("crs", config::allInOne(n, m), seed ^ 0x9999);
+            process::RunLimits crsLimits;
+            crsLimits.maxEvents = 200'000'000;
+            const auto cr = process::run(*crs, process::Target::equilibrium(), crsLimits);
+            const double draws = cr.reachedTarget ? cr.clock.value : -1.0;
+            return std::vector<double>{static_cast<double>(r.activations), r.time, draws,
+                                       cr.finalState.discrepancy()};
           }, ctx.pool());
       const auto act = result.summary(0);
       const auto time = result.summary(1);
@@ -134,36 +146,47 @@ void runBaselines(ScenarioContext& ctx) {
           }, ctx.pool());
       const double rlsTime = stats::summarize(rlsSamples).mean;
 
+      // Synchronous baselines as registry kinds; `process=` selects a
+      // subset (comma list). The threshold kind's default is exactly the
+      // historical T = floor(m/n), p = 0.5.
       struct Row {
         const char* name;
-        std::function<std::unique_ptr<protocols::RoundProtocol>(std::uint64_t)> make;
+        const char* kind;
       };
+      const Row allRows[] = {
+          {"selfish [4]", "selfish"},
+          {"EDM global-avg [10]", "edm"},
+          {"threshold T=avg [1]", "threshold"},
+      };
+      std::vector<Row> rows;
+      if (processFilter.empty()) {
+        rows.assign(std::begin(allRows), std::end(allRows));
+      } else {
+        for (const std::string& kind : util::splitCsv(processFilter)) {
+          bool known = false;
+          for (const Row& row : allRows) {
+            if (kind == row.kind) {
+              rows.push_back(row);
+              known = true;
+            }
+          }
+          RLSLB_ASSERT_MSG(known,
+                           "process= must name synchronous kinds from "
+                           "selfish|edm|threshold (comma-separated)");
+        }
+      }
       const auto init = config::allInOne(n, m);
-      const Row rows[] = {
-          {"selfish [4]",
-           [&](std::uint64_t seed) {
-             return std::unique_ptr<protocols::RoundProtocol>(
-                 new protocols::SelfishRerouting(init, seed));
-           }},
-          {"EDM global-avg [10]",
-           [&](std::uint64_t seed) {
-             return std::unique_ptr<protocols::RoundProtocol>(
-                 new protocols::EdmGlobalRerouting(init, seed));
-           }},
-          {"threshold T=avg [1]",
-           [&](std::uint64_t seed) {
-             return std::unique_ptr<protocols::RoundProtocol>(
-                 new protocols::ThresholdProtocol(init, seed, m / n, 0.5));
-           }},
-      };
       for (const auto& row : rows) {
         const auto result = runner::runReplications(
             reps, ctx.seed ^ static_cast<std::uint64_t>(ratio * 31), 2,
             [&](std::int64_t, std::uint64_t seed) {
-              auto proto = row.make(seed);
-              const std::int64_t rounds = proto->runUntilBalanced(band, 2000);
-              return std::vector<double>{static_cast<double>(rounds),
-                                         proto->metrics().discrepancy};
+              auto proto = process::makeProcess(row.kind, init, seed);
+              process::RunLimits protoLimits;
+              protoLimits.maxEvents = 2000;
+              const auto r =
+                  process::run(*proto, process::Target::xBalanced(band), protoLimits);
+              const double rounds = r.reachedTarget ? r.clock.value : -1.0;
+              return std::vector<double>{rounds, r.finalState.discrepancy()};
             }, ctx.pool());
         const auto rounds = result.summary(0);
         const auto disc = result.summary(1);
@@ -192,13 +215,13 @@ void runBaselines(ScenarioContext& ctx) {
       const auto result = runner::runReplications(
           reps, ctx.seed ^ static_cast<std::uint64_t>(n * 77), 2,
           [&](std::int64_t, std::uint64_t seed) {
-            protocols::RepeatedBallsIntoBins p(config::allInOne(n, n), seed);
-            for (std::int64_t r = 0; r < 3 * n; ++r) p.round();  // drain + stabilize
+            auto p = process::makeProcess("repeated", config::allInOne(n, n), seed);
+            for (std::int64_t r = 0; r < 3 * n; ++r) p->advance();  // drain + stabilize
             double maxSum = 0.0;
             const int samplesPerRun = 50;
             for (int s = 0; s < samplesPerRun; ++s) {
-              for (int r = 0; r < 4; ++r) p.round();
-              maxSum += static_cast<double>(p.metrics().maxLoad);
+              for (int r = 0; r < 4; ++r) p->advance();
+              maxSum += static_cast<double>(p->state().maxLoad);  // O(1) via the tracker
             }
             core::SimOptions o;
             o.engine = core::SimOptions::EngineKind::Hybrid;
@@ -227,7 +250,9 @@ void runBaselines(ScenarioContext& ctx) {
 void registerBaselines(ScenarioRegistry& r) {
   r.add({"e10_baselines",
          "Section 2 baselines: strict-RLS, CRS [9], selfish [4], EDM [10], threshold [1]",
-         "Section 2", runBaselines});
+         "Section 2", runBaselines,
+         {{"process", "string", "(all three)",
+           "filter section (C)'s synchronous roster: comma list of selfish|edm|threshold"}}});
 }
 
 }  // namespace rlslb::scenario::builtin

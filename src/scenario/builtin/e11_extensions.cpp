@@ -141,7 +141,8 @@ void runExtensions(ScenarioContext& ctx) {
 
 void registerExtensions(ScenarioRegistry& r) {
   r.add({"e11_extensions", "Section 7 extensions: bin speeds and weighted balls",
-         "Section 7", runExtensions});
+         "Section 7", runExtensions,
+         {{"n", "int", "128 (scaled)", "bins (both sections)"}}});
 }
 
 }  // namespace rlslb::scenario::builtin

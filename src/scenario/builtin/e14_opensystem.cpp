@@ -140,7 +140,8 @@ void runOpensystem(ScenarioContext& ctx) {
 void registerOpensystem(ScenarioRegistry& r) {
   r.add({"e14_opensystem",
          "open-system RLS (the [11] setting): stationary spread under arrivals and departures",
-         "Section 1 related work; Ganesh et al. [11]", runOpensystem});
+         "Section 1 related work; Ganesh et al. [11]", runOpensystem,
+         {{"n", "int", "64 (scaled)", "bins"}}});
 }
 
 }  // namespace rlslb::scenario::builtin

@@ -64,7 +64,11 @@ void runTrajectory(ScenarioContext& ctx) {
 
 void registerTrajectory(ScenarioRegistry& r) {
   r.add({"e15_trajectory", "ensemble mean trajectories of disc(t) and overloaded(t)",
-         "Section 6 (figure-style companion)", runTrajectory});
+         "Section 6 (figure-style companion)", runTrajectory,
+         {{"n", "int", "1024 (scaled, even)", "bins"},
+          {"ratio", "int", "8", "balls per bin (m = ratio * n)"},
+          {"dt", "double", "0.5", "trajectory sampling interval"},
+          {"horizon", "double", "24", "trajectory length in time units"}}});
 }
 
 }  // namespace rlslb::scenario::builtin

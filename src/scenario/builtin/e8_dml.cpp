@@ -112,7 +112,8 @@ void runDml(ScenarioContext& ctx) {
 
 void registerDml(ScenarioRegistry& r) {
   r.add({"e8_dml", "Lemma 2 (DML): destructive moves never speed up RLS",
-         "Lemma 2; Section 4", runDml});
+         "Lemma 2; Section 4", runDml,
+         {{"n", "int", "64 (scaled)", "bins"}}});
 }
 
 }  // namespace rlslb::scenario::builtin

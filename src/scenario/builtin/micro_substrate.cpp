@@ -144,7 +144,10 @@ void runMicroSubstrate(ScenarioContext& ctx) {
 void registerMicroSubstrate(ScenarioRegistry& r) {
   r.add({"micro_substrate",
          "substrate micro-costs: Fenwick add/sample/total (cached vs recompute), multiset move",
-         "engineering baseline (E13 companion)", runMicroSubstrate});
+         "engineering baseline (E13 companion)", runMicroSubstrate,
+         {{"n", "int", "100000", "Fenwick size"},
+          {"ops", "int", "2e6 (scaled)", "operations per micro row"},
+          {"jump_levels", "int", "512", "distinct levels for the jump-engine rows"}}});
 }
 
 }  // namespace rlslb::scenario::builtin

@@ -153,13 +153,13 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
           .cell(s.traceTime, 5)
           .cell(s.liveBalls)
           .cell(s.totalLoad)
-          .cell(s.gap)
+          .cell(s.gap())
           .cell(s.migrations);
     }
     if (s.epoch >= warmupEpochs) {
-      gapSum += static_cast<double>(s.gap);
+      gapSum += static_cast<double>(s.gap());
       ++gapEpochs;
-      if (s.gap > maxGap) maxGap = s.gap;
+      if (s.gap() > maxGap) maxGap = s.gap();
     }
     if (s.events > 0) {
       epochNs.push_back(s.wallSeconds * 1e9 / static_cast<double>(s.events));
@@ -172,9 +172,12 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
 
   const double meanGap = gapEpochs > 0 ? gapSum / static_cast<double>(gapEpochs) : 0.0;
   const std::int64_t bound = std::max<std::int64_t>(1, allocator.maxWeightSeen());
+  // Final balance through the closed-system vocabulary (the same
+  // sim::BalanceState view process::Process::state() exposes).
+  const sim::BalanceState finalBalance = allocator.balanceState();
   Table summary({"events", "arrivals", "departures", "resamples", "migrations",
-                 "migr/resample", "repairs", "mean gap", "max gap", "closed bound",
-                 "gap/bound"});
+                 "migr/resample", "repairs", "mean gap", "max gap", "final disc",
+                 "closed bound", "gap/bound"});
   summary.row()
       .cell(c.events)
       .cell(c.arrivals)
@@ -188,6 +191,7 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
       .cell(c.repairMigrations)
       .cell(meanGap, 4)
       .cell(maxGap)
+      .cell(finalBalance.discrepancy(), 3)
       .cell(bound)
       .cell(meanGap / static_cast<double>(bound), 3);
   ctx.emitTable(summary,
@@ -229,16 +233,41 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
 }  // namespace
 
 void registerServe(ScenarioRegistry& r) {
-  const auto add = [&r](const std::string& kind, const std::string& what) {
+  const std::vector<process::ParamSpec> shared = {
+      {"n", "int", "256 (scaled)", "bins"},
+      {"events", "int", "6e6 (scaled)", "trace length"},
+      {"d", "int", "2", "arrival choices (snapshot-least-loaded of d bins)"},
+      {"shards", "int", "8", "decision-phase partitions"},
+      {"epoch", "int", "1024", "events per load snapshot"},
+      {"repair", "int", "4", "cross-shard RLS repair moves per epoch"},
+      {"lambda", "double", "1.0", "arrivals per bin per time unit"},
+      {"mu", "double", "0.125", "per-ball departure rate"},
+      {"resample", "double", "1.0", "per-ball RLS clock rate"},
+      {"weight", "int", "1", "background ball weight"},
+      {"record", "string", "(off)", "tee the generated trace to this JSONL file"},
+      {"trace", "string", "(off)", "replay a recorded JSONL trace instead of generating"},
+  };
+  const auto add = [&](const std::string& kind, const std::string& what,
+                       std::vector<process::ParamSpec> extra) {
+    std::vector<process::ParamSpec> params = shared;
+    params.insert(params.end(), extra.begin(), extra.end());
     r.add({"serve_" + kind,
            "online serving: " + what + " trace through the incremental RLS allocator",
            "open-system serving (Ganesh et al. [11]; Section 7 outlook)",
-           [kind](ScenarioContext& ctx) { runServe(ctx, kind); }});
+           [kind](ScenarioContext& ctx) { runServe(ctx, kind); }, std::move(params)});
   };
-  add("poisson", "constant-rate Poisson arrivals/departures");
-  add("bursty", "2-state MMPP calm/burst");
-  add("diurnal", "sinusoid-modulated (day/night) arrivals");
-  add("adversarial", "synchronized heavy hot-spot bursts");
+  add("poisson", "constant-rate Poisson arrivals/departures", {});
+  add("bursty", "2-state MMPP calm/burst",
+      {{"burst_factor", "double", "8.0", "burst-state rate multiplier"},
+       {"calm_to_burst", "double", "0.05", "calm -> burst switching rate"},
+       {"burst_to_calm", "double", "0.5", "burst -> calm switching rate"}});
+  add("diurnal", "sinusoid-modulated (day/night) arrivals",
+      {{"amplitude", "double", "0.8", "rate modulation depth (0..1)"},
+       {"period", "double", "64.0", "day length in time units"}});
+  add("adversarial", "synchronized heavy hot-spot bursts",
+      {{"burst_period", "double", "16.0", "time between synchronized bursts"},
+       {"burst_size", "int", "32", "balls per burst"},
+       {"hot_weight", "int", "8", "weight of each burst ball"}});
 }
 
 }  // namespace rlslb::scenario::builtin

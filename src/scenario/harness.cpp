@@ -35,6 +35,15 @@ void applyParamTokens(ScenarioContext& ctx, const std::vector<std::string>& toke
   }
 }
 
+process::ProcessParams forwardProcessParams(const process::ProcessSpec& spec,
+                                            const ScenarioParams& params) {
+  process::ProcessParams out;
+  for (const process::ParamSpec& p : spec.params) {
+    if (params.has(p.name)) out.set(p.name, params.getString(p.name, ""));
+  }
+  return out;
+}
+
 bool ResultOutput::attach(const std::string& outPath, ScenarioContext& ctx) {
   if (outPath.empty()) return true;
   file_.open(outPath);

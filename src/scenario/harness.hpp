@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "process/registry.hpp"
 #include "scenario/scenario.hpp"
 #include "util/cli.hpp"
 
@@ -30,6 +31,14 @@ ScenarioContext contextFromArgs(const CliArgs& args);
 /// Fill `ctx.params` from bare key=value tokens; exits with code 2 on a
 /// malformed token.
 void applyParamTokens(ScenarioContext& ctx, const std::vector<std::string>& tokens);
+
+/// Forward exactly the keys `spec` declares from the scenario's `key=value`
+/// overrides into a ProcessParams (marking them consumed on the scenario
+/// side). One spelling of every knob across both layers: a scenario takes
+/// e.g. `process=threshold threshold=8 p=0.25` and hands the latter two to
+/// process::makeProcess.
+process::ProcessParams forwardProcessParams(const process::ProcessSpec& spec,
+                                            const ScenarioParams& params);
 
 /// Caller-owned holder for the --out stream and its sink (both must
 /// outlive the scenario runs). attach() with a non-empty path opens the

@@ -1,10 +1,6 @@
 #include "scenario/params.hpp"
 
-#include <cerrno>
-#include <cmath>
-#include <cstdlib>
-
-#include "util/assert.hpp"
+#include "util/parse.hpp"
 
 namespace rlslb::scenario {
 
@@ -41,42 +37,21 @@ std::int64_t ScenarioParams::getInt(const std::string& name, std::int64_t dflt) 
   auto it = values_.find(name);
   if (it == values_.end()) return dflt;
   used_[name] = true;
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  if (end != nullptr && *end == '\0') {
-    RLSLB_ASSERT_MSG(errno != ERANGE, "integer parameter out of int64 range");
-    return v;
-  }
-  // Scientific shorthand ("1e6", "2.5e3"): accept iff exactly integral and
-  // representable.
-  end = nullptr;
-  const double d = std::strtod(it->second.c_str(), &end);
-  RLSLB_ASSERT_MSG(end != nullptr && *end == '\0', "malformed integer parameter value");
-  RLSLB_ASSERT_MSG(std::nearbyint(d) == d && std::fabs(d) < 9.2e18,
-                   "integer parameter is not an exact integer");
-  return static_cast<std::int64_t>(d);
+  return util::parseInt64(it->second, name);
 }
 
 double ScenarioParams::getDouble(const std::string& name, double dflt) const {
   auto it = values_.find(name);
   if (it == values_.end()) return dflt;
   used_[name] = true;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  RLSLB_ASSERT_MSG(end != nullptr && *end == '\0', "malformed double parameter value");
-  return v;
+  return util::parseDouble(it->second, name);
 }
 
 bool ScenarioParams::getBool(const std::string& name, bool dflt) const {
   auto it = values_.find(name);
   if (it == values_.end()) return dflt;
   used_[name] = true;
-  const std::string& v = it->second;
-  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
-  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
-  RLSLB_ASSERT_MSG(false, "malformed boolean parameter value");
-  return dflt;
+  return util::parseBool(it->second, name);
 }
 
 std::vector<std::string> ScenarioParams::unusedKeys() const {

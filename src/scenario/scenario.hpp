@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "process/params.hpp"
 #include "report/result_sink.hpp"
 #include "runner/thread_pool.hpp"
 #include "scenario/params.hpp"
@@ -90,6 +91,11 @@ struct Scenario {
   std::string description;  // one line: what it reproduces
   std::string paperRef;     // e.g. "Theorem 1; Section 5"
   std::function<void(ScenarioContext&)> run;
+  /// Declared `key=value` knobs (printed by `rlslb describe <name>`).
+  /// Shares the spec type with the process registry so both layers'
+  /// parameters read the same way. Defaulted so parameterless scenarios
+  /// keep the four-field aggregate registration.
+  std::vector<process::ParamSpec> params = {};
 };
 
 class ScenarioRegistry {

@@ -89,7 +89,7 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
       stats.events = static_cast<std::int64_t>(batch.size());
       stats.liveBalls = allocator_->liveBalls();
       stats.totalLoad = allocator_->totalLoad();
-      stats.gap = allocator_->gap();
+      stats.balance = allocator_->balanceState();
       stats.migrations =
           allocator_->counters().migrations + allocator_->counters().repairMigrations;
       stats.wallSeconds = epochWall;

@@ -30,6 +30,7 @@
 
 #include "runner/thread_pool.hpp"
 #include "serve/online_allocator.hpp"
+#include "sim/engine.hpp"
 #include "workload/generators.hpp"
 
 namespace rlslb::serve {
@@ -48,9 +49,13 @@ struct EpochStats {
   std::int64_t events = 0;      // events in this epoch
   std::int64_t liveBalls = 0;
   std::int64_t totalLoad = 0;
-  std::int64_t gap = 0;         // max - min bin load after the epoch
+  sim::BalanceState balance;    // allocator state in the closed-system vocabulary
   std::int64_t migrations = 0;  // cumulative accepted migrations
   double wallSeconds = 0.0;     // decision+apply+repair wall-clock (epoch)
+
+  /// max - min bin load after the epoch (derived; single source of truth
+  /// is `balance`).
+  [[nodiscard]] std::int64_t gap() const { return balance.maxLoad - balance.minLoad; }
 };
 
 class ShardedEventLoop {

@@ -159,6 +159,19 @@ void OnlineAllocator::moveBall(std::int64_t ball, BallRec& rec, std::int32_t toB
   changeLoad(toBin, old.weight);
 }
 
+sim::BalanceState OnlineAllocator::balanceState() const {
+  sim::BalanceState state;
+  state.numBins = numBins();
+  state.numBalls = mass_.total();  // total carried weight
+  state.minLoad = minLoad();
+  state.maxLoad = maxLoad();
+  const std::int64_t ceilAvg = (state.numBalls + state.numBins - 1) / state.numBins;
+  for (auto it = levels_.upper_bound(ceilAvg); it != levels_.end(); ++it) {
+    state.overloadedBalls += (it->first - ceilAvg) * it->second;
+  }
+  return state;
+}
+
 bool OnlineAllocator::validate() const {
   std::int64_t total = 0;
   std::map<std::int64_t, std::int64_t> levels;

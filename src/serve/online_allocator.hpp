@@ -34,6 +34,7 @@
 
 #include "ds/fenwick.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "sim/engine.hpp"
 #include "workload/event.hpp"
 
 namespace rlslb::serve {
@@ -91,6 +92,13 @@ class OnlineAllocator {
   [[nodiscard]] std::int64_t maxLoad() const { return levels_.rbegin()->first; }
   /// max - min bin load: the serving analogue of the discrepancy.
   [[nodiscard]] std::int64_t gap() const { return maxLoad() - minLoad(); }
+  /// The live state as the closed-system balance view (sim::BalanceState,
+  /// the same vocabulary process::Process::state() speaks): numBalls is the
+  /// total carried *weight*, so discrepancy()/xBalanced() are in weight
+  /// units. min/max are O(1); overloaded balls walks the level histogram's
+  /// tail above ceil(weight/bins) -- short exactly when the allocator keeps
+  /// the system balanced.
+  [[nodiscard]] sim::BalanceState balanceState() const;
   /// Largest single ball weight ever seen: the closed-system balance floor
   /// for weighted traffic (a gap below the heaviest ball is unreachable).
   [[nodiscard]] std::int64_t maxWeightSeen() const { return maxWeightSeen_; }

@@ -1,0 +1,65 @@
+// BalanceTracker: incremental maintenance of a BalanceState over arbitrary
+// single-bin load changes.
+//
+// NaiveEngine maintains its BalanceState with an unordered histogram and a
+// min/max walk, which is O(1) amortized but assumes +-1 load deltas and a
+// fixed ball count. The other process families violate one or both
+// assumptions: WeightedRls changes a bin's load by an arbitrary ball
+// weight, and the open system changes the total ball count (so the
+// overloaded-ball threshold ceil(m/n) itself moves). This tracker handles
+// the general case with a *dense* per-level count array over the load
+// domain [0, maxLoadSeen]:
+//
+//   - histogram update: two array increments, O(1);
+//   - min/max: the walk from the vacated level stops at the changed bin's
+//     new level or the first occupied one, so it is bounded by |delta| --
+//     O(1) for unit moves, O(w) for a weight-w move;
+//   - overloaded balls (sum_i max(0, l_i - ceil(m/n))): O(1) incremental
+//     while the ball count's ceiling is stable; a ceiling move (open
+//     systems only) re-sums the suffix above it, O(spread).
+//
+// Memory is O(max load seen), grown on demand -- fine for every tracked
+// family (CRS, the ext engines, the open system), whose loads are a small
+// multiple of the average. The sim engines keep their own bookkeeping.
+// Bulk-rewrite dynamics (the synchronous round protocols rewrite Theta(m)
+// loads per round) should NOT pay per-move tracking at all; they recompute
+// lazily per round instead (see protocols/round_protocol.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace rlslb::sim {
+
+class BalanceTracker {
+ public:
+  BalanceTracker() = default;
+  explicit BalanceTracker(const std::vector<std::int64_t>& loads) { reset(loads); }
+
+  /// Rebuild from scratch, O(n + max load).
+  void reset(const std::vector<std::int64_t>& loads);
+
+  /// Account one bin's load changing from `from` to `to` (any delta; the
+  /// total ball count may change). O(|to - from|) plus the ceiling re-sum
+  /// above.
+  void onLoadChange(std::int64_t from, std::int64_t to);
+
+  [[nodiscard]] const BalanceState& state() const { return state_; }
+
+  /// #bins currently at `level` (0 when absent); differential tests.
+  [[nodiscard]] std::int64_t levelCount(std::int64_t level) const {
+    if (level < 0 || level >= static_cast<std::int64_t>(counts_.size())) return 0;
+    return counts_[static_cast<std::size_t>(level)];
+  }
+
+ private:
+  std::vector<std::int32_t> counts_;  // load value -> #bins (dense)
+  BalanceState state_;
+  std::int64_t ceilAvg_ = 0;
+
+  void recomputeOverloaded();
+};
+
+}  // namespace rlslb::sim

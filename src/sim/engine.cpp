@@ -1,23 +1,39 @@
 #include "sim/engine.hpp"
 
+#include "process/adapters.hpp"
+#include "process/process.hpp"
+
 namespace rlslb::sim {
 
-RunResult runUntil(Engine& engine, Target target, const RunLimits& limits, Probe* probe) {
-  RunResult result;
-  if (probe != nullptr) probe->onEvent(engine);
-  bool reached = target.reached(engine.state());
-  std::int64_t steps = 0;
-  while (!reached && engine.time() < limits.maxTime && steps < limits.maxEvents) {
-    if (!engine.step()) break;  // absorbed
-    ++steps;
-    if (probe != nullptr) probe->onEvent(engine);
-    reached = target.reached(engine.state());
+namespace {
+
+/// Bridges the engine-level probe API onto the process-level one.
+class EngineProbeBridge final : public process::Probe {
+ public:
+  explicit EngineProbeBridge(sim::Probe* inner) : inner_(inner) {}
+  void onEvent(const process::Process& p) override {
+    inner_->onEvent(static_cast<const process::EngineProcess&>(p).underlying());
   }
-  result.time = engine.time();
-  result.moves = engine.moves();
-  result.activations = engine.activations();
-  result.finalState = engine.state();
-  result.reachedTarget = reached || target.reached(engine.state());
+
+ private:
+  sim::Probe* inner_;
+};
+
+}  // namespace
+
+RunResult runUntil(Engine& engine, Target target, const RunLimits& limits, Probe* probe) {
+  // Retained as the sim-level entry point; the loop itself lives in
+  // process::run (process/process.hpp), shared by every process family.
+  process::EngineProcess self(engine);
+  EngineProbeBridge bridge(probe);
+  const process::RunResult r = process::run(self, process::Target::fromSim(target), limits,
+                                            probe != nullptr ? &bridge : nullptr);
+  RunResult result;
+  result.time = r.time;
+  result.moves = r.moves;
+  result.activations = r.activations;
+  result.reachedTarget = r.reachedTarget;
+  result.finalState = r.finalState;
   return result;
 }
 

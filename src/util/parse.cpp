@@ -1,0 +1,68 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace rlslb::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& text, const char* why) {
+  std::fprintf(stderr, "parameter %s=%s: %s\n", what.c_str(), text.c_str(), why);
+  RLSLB_ASSERT_MSG(false, "malformed parameter value");
+  std::abort();  // unreachable; RLSLB_ASSERT aborts
+}
+
+}  // namespace
+
+std::int64_t parseInt64(const std::string& text, const std::string& what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && !text.empty()) {
+    if (errno == ERANGE) fail(what, text, "out of int64 range");
+    return v;
+  }
+  // Scientific shorthand ("1e6", "2.5e3"): accept iff exactly integral and
+  // representable.
+  end = nullptr;
+  const double d = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) fail(what, text, "not an integer");
+  if (std::nearbyint(d) != d || std::fabs(d) >= 9.2e18) {
+    fail(what, text, "not an exact integer");
+  }
+  return static_cast<std::int64_t>(d);
+}
+
+double parseDouble(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) fail(what, text, "not a number");
+  return v;
+}
+
+std::vector<std::string> splitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!token.empty()) out.push_back(token);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parseBool(const std::string& text, const std::string& what) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
+  if (text == "false" || text == "0" || text == "no" || text == "off") return false;
+  fail(what, text, "not a boolean (true/1/yes/on or false/0/no/off)");
+}
+
+}  // namespace rlslb::util

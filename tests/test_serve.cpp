@@ -139,7 +139,7 @@ TEST(ShardedEventLoop, RlsMigrationShrinksTheGapVersusPlacementOnly) {
     double gapSum = 0.0;
     std::int64_t samples = 0;
     loop.run(trace, [&](const EpochStats& s) {
-      gapSum += static_cast<double>(s.gap);
+      gapSum += static_cast<double>(s.gap());
       ++samples;
     });
     return gapSum / static_cast<double>(samples);
