@@ -11,14 +11,33 @@ namespace rlslb::serve {
 namespace {
 constexpr std::uint64_t kDecisionSalt = 0x64656373ULL;  // "decs"
 constexpr std::uint64_t kRepairSalt = 0x72657061ULL;    // "repa"
+
+// Below this many queued ops an epoch drains inline: the parallelFor
+// dispatch overhead would dominate the O(log n) materialization work.
+constexpr std::int64_t kParallelDrainThreshold = 64;
 }  // namespace
 
 ShardedEventLoop::ShardedEventLoop(OnlineAllocator& allocator, const LoopOptions& options,
                                    runner::ThreadPool& pool)
     : allocator_(&allocator), options_(options), pool_(&pool) {
-  RLSLB_ASSERT(options_.shards >= 1);
-  RLSLB_ASSERT(options_.epochEvents >= 1);
-  RLSLB_ASSERT(options_.repairMovesPerEpoch >= 0);
+  RLSLB_ASSERT_MSG(options_.shards >= 1, "LoopOptions.shards must be >= 1");
+  RLSLB_ASSERT_MSG(options_.epochEvents >= 1, "LoopOptions.epochEvents must be >= 1");
+  RLSLB_ASSERT_MSG(options_.repairMovesPerEpoch >= 0,
+                   "LoopOptions.repairMovesPerEpoch must be >= 0");
+}
+
+bool ShardedEventLoop::usesPartitionedApply() const {
+  switch (options_.applyMode) {
+    case ApplyMode::kSequential:
+      return false;
+    case ApplyMode::kPartitioned:
+      return true;
+    case ApplyMode::kAuto:
+      // The partitioned machinery only pays for itself when the drain can
+      // actually run concurrently; otherwise keep the fused hot path.
+      return pool_->size() > 1 && options_.shards > 1;
+  }
+  return false;
 }
 
 ShardedEventLoop::RunResult ShardedEventLoop::run(
@@ -26,6 +45,13 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
   const std::uint64_t decisionSeed = rng::streamSeed(options_.seed, kDecisionSalt);
   const std::uint64_t repairSeed = rng::streamSeed(options_.seed, kRepairSalt);
   const auto shards = static_cast<std::size_t>(options_.shards);
+
+  const bool partitioned = usesPartitionedApply();
+  // Bin ownership may clamp below options_.shards when bins < shards.
+  const int applyShards =
+      partitioned ? allocator_->configurePartitions(options_.shards, /*enableRouter=*/true)
+                  : allocator_->configurePartitions(1, /*enableRouter=*/false);
+  if (partitioned) queues_.reset(applyShards);
 
   RunResult result;
   std::vector<workload::Event> batch;
@@ -43,6 +69,8 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
     }
     if (batch.empty()) break;
 
+    // Timing contract: the timer brackets decision + apply + repair only
+    // (the batch fill above and the stats/callback below are outside).
     WallTimer wall;
     const std::int64_t baseOrdinal = nextOrdinal_;
     nextOrdinal_ += static_cast<std::int64_t>(batch.size());
@@ -71,8 +99,37 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
       }
     });
 
-    // Apply phase in trace order, then the cross-shard repair budget.
-    for (std::size_t i = 0; i < batch.size(); ++i) allocator_->apply(batch[i], decisions[i]);
+    // Apply phase in trace order.
+    std::int64_t queuedOps = 0;
+    std::int64_t crossShardOps = 0;
+    std::int64_t queuePeak = 0;
+    if (partitioned) {
+      // Sequential resolution (trace order, live-load re-validation)...
+      queues_.clear();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        allocator_->resolve(batch[i], decisions[i],
+                            baseOrdinal + static_cast<std::int64_t>(i), queues_);
+      }
+      queuedOps = queues_.totalPending();
+      crossShardOps = queues_.crossPending();
+      queuePeak = queues_.peakDepth();
+      // ... then every owner materializes its column of the queue matrix.
+      if (pool_->size() > 1 && queuedOps >= kParallelDrainThreshold) {
+        pool_->parallelFor(applyShards, [&](std::int64_t shard) {
+          allocator_->applyShardOps(static_cast<int>(shard), queues_);
+        });
+      } else {
+        for (int shard = 0; shard < applyShards; ++shard) {
+          allocator_->applyShardOps(shard, queues_);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        allocator_->apply(batch[i], decisions[i]);
+      }
+    }
+
+    // Cross-shard repair budget (sequential; mutates arbitrary shards).
     rng::Xoshiro256pp repairEng(
         rng::streamSeed(repairSeed, static_cast<std::uint64_t>(nextEpoch_)));
     for (int k = 0; k < options_.repairMovesPerEpoch; ++k) allocator_->repairMove(repairEng);
@@ -80,6 +137,8 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
     const double epochWall = wall.seconds();
     result.wallSeconds += epochWall;
     result.events += static_cast<std::int64_t>(batch.size());
+    result.queuedOps += queuedOps;
+    result.crossShardOps += crossShardOps;
     ++result.epochs;
 
     if (onEpoch) {
@@ -93,6 +152,10 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
       stats.migrations =
           allocator_->counters().migrations + allocator_->counters().repairMigrations;
       stats.wallSeconds = epochWall;
+      stats.applyShards = applyShards;
+      stats.queuedOps = queuedOps;
+      stats.crossShardOps = crossShardOps;
+      stats.queuePeak = queuePeak;
       onEpoch(stats);
     }
     ++nextEpoch_;

@@ -9,40 +9,72 @@
 //      and computes the random placement/candidate decisions against the
 //      snapshot, each event drawing from its own rng stream
 //      streamSeed(decisionSeed, eventOrdinal).
-//   4. Apply phase, sequential in trace order: every decision is
-//      re-validated against live loads and applied (O(log n) per event).
+//   4. Apply phase. Two executions of the same semantics:
+//        Sequential (fused): walk the batch in trace order, re-validating
+//        every decision against live loads and mutating in place.
+//        Partitioned: a sequential *resolution* sweep over the batch does
+//        the live-load re-validation and counter bookkeeping (cheap: flat
+//        array + router hash) while deferring the O(log n) structure
+//        mutations as Place/Remove ops in per-shard-pair migration queues;
+//        then every ownership shard *materializes* its queued ops in
+//        parallel — Fenwick, level histogram, ball slots — each owner
+//        draining its column of the queue matrix in canonical
+//        (ordinal, source) order. Per bin the canonical order equals the
+//        trace order restricted to that bin, so both executions finish in
+//        byte-identical states (pinned by tests/test_serve_partitioned).
 //   5. Cross-shard rebalance: a fixed budget of RLS repair activations on
 //      live state heals whatever imbalance the stale snapshot let through
 //      (the bulk-synchronous analogue of the paper's background RLS
 //      clocks), then the next epoch snapshots fresh loads.
 //
 // Determinism: decisions are per-event pure functions of (snapshot,
-// ordinal-derived rng), the apply order is the trace order, and the repair
-// stream is keyed by epoch index — so the final load vector and every
-// counter are byte-identical across thread counts AND shard counts; shards
-// are purely an execution-parallelism knob (asserted by tests/test_serve).
-// Epoch length is a *semantic* knob (it sets snapshot staleness) and is
-// therefore not an invariance axis.
+// ordinal-derived rng), resolution order is the trace order, the per-owner
+// drain order is a pure function of queue contents, and the repair stream
+// is keyed by epoch index — so the final load vector and every semantic
+// counter are byte-identical across thread counts, shard counts, AND apply
+// modes; shards are purely an execution-parallelism knob. Epoch length is
+// a *semantic* knob (it sets snapshot staleness) and is therefore not an
+// invariance axis.
+//
+// Timing contract (pinned by tests/test_serve_partitioned.cpp):
+// EpochStats.wallSeconds covers exactly the epoch's decision phase, apply
+// phase (fused apply, or resolve + queue drain), and repair budget. It
+// excludes trace generation (the batch fill), EpochStats assembly, and the
+// onEpoch callback. RunResult.wallSeconds is the exact sum of the per-epoch
+// values — no extra terms.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "runner/thread_pool.hpp"
+#include "serve/migration_queue.hpp"
 #include "serve/online_allocator.hpp"
 #include "sim/engine.hpp"
 #include "workload/generators.hpp"
 
 namespace rlslb::serve {
 
+/// How the apply phase executes. Semantics are identical in all modes;
+/// this only picks the execution strategy.
+enum class ApplyMode : std::uint8_t {
+  kAuto = 0,        // partitioned iff (pool has workers && shards > 1)
+  kSequential = 1,  // always the fused single-threaded apply
+  kPartitioned = 2, // always resolve + shard-parallel materialize
+};
+
 struct LoopOptions {
-  int shards = 8;                   // decision-phase partitions
+  int shards = 8;                   // decision partitions AND bin-ownership shards
   std::int64_t epochEvents = 1024;  // snapshot refresh granularity
   int repairMovesPerEpoch = 4;      // cross-shard repair activations
   std::uint64_t seed = 1;           // decision + repair stream base
+  ApplyMode applyMode = ApplyMode::kAuto;
 };
 
-/// Per-epoch observation passed to the run() callback.
+/// Per-epoch observation passed to the run() callback. The fields above
+/// `wallSeconds` are *semantic* — identical for every (threads, shards,
+/// applyMode) execution of the same trace + seed. The fields below are
+/// *execution* observations and may differ run to run.
 struct EpochStats {
   std::int64_t epoch = 0;       // 0-based epoch index
   double traceTime = 0.0;       // timestamp of the epoch's last event
@@ -51,7 +83,12 @@ struct EpochStats {
   std::int64_t totalLoad = 0;
   sim::BalanceState balance;    // allocator state in the closed-system vocabulary
   std::int64_t migrations = 0;  // cumulative accepted migrations
-  double wallSeconds = 0.0;     // decision+apply+repair wall-clock (epoch)
+
+  double wallSeconds = 0.0;     // decision+apply+repair wall-clock (see contract)
+  int applyShards = 1;          // ownership shards the apply phase ran with
+  std::int64_t queuedOps = 0;   // BinOps queued this epoch (0 on the fused path)
+  std::int64_t crossShardOps = 0;  // queued ops that crossed an ownership boundary
+  std::int64_t queuePeak = 0;   // deepest single (from, to) queue this epoch
 
   /// max - min bin load after the epoch (derived; single source of truth
   /// is `balance`).
@@ -66,17 +103,23 @@ class ShardedEventLoop {
   struct RunResult {
     std::int64_t events = 0;
     std::int64_t epochs = 0;
-    double wallSeconds = 0.0;  // total across epochs (excludes trace generation)
+    double wallSeconds = 0.0;  // exact sum of per-epoch wallSeconds
+    std::int64_t queuedOps = 0;      // cumulative (execution stat)
+    std::int64_t crossShardOps = 0;  // cumulative (execution stat)
   };
 
   /// Drain the trace. `onEpoch` (may be empty) fires after each epoch.
   RunResult run(workload::TraceGenerator& trace,
                 const std::function<void(const EpochStats&)>& onEpoch = {});
 
+  /// The apply strategy run() will use (resolves kAuto against the pool).
+  [[nodiscard]] bool usesPartitionedApply() const;
+
  private:
   OnlineAllocator* allocator_;
   LoopOptions options_;
   runner::ThreadPool* pool_;
+  CrossShardQueues queues_;
   std::int64_t nextOrdinal_ = 0;  // global event ordinal (decision streams)
   std::int64_t nextEpoch_ = 0;
 };

@@ -1,0 +1,156 @@
+// CrossShardQueues: the per-shard-pair op queues of the partitioned apply
+// phase (the nfos/Vigor "partitions owned by cores, migrations move
+// between them" pattern, keyed by event ordinal instead of a rebalance
+// timer).
+//
+// During the sequential resolution pass of an epoch, every resolved event
+// becomes one or two BinOps — Place (ball enters a bin) and Remove (ball
+// leaves a bin) — pushed into queue (from, to), where `from` is the shard
+// that initiated the op (the owner of the ball's current bin) and `to` is
+// the owner of the bin the op mutates. Local work rides the diagonal; an
+// accepted cross-shard migration is a Remove on the diagonal plus a Place
+// in an off-diagonal queue.
+//
+// Drain contract (the determinism anchor, pinned by the property tests in
+// tests/test_serve_partitioned.cpp):
+//   - each op is delivered to exactly one owner: the `to` shard
+//     (conservation — sum of per-owner drains == pushes since clear());
+//   - drainTo(to) visits ops in ascending (ordinal, from) order, FIFO
+//     within one (from, to) queue — a k-way merge of the per-source
+//     streams, each of which resolution pushed in ascending ordinal order
+//     (checked in debug builds);
+//   - the merged order depends only on queue *contents*, never on the
+//     interleaving in which sources completed their pushes, so the apply
+//     phase is byte-deterministic for any thread schedule.
+// Per-bin, the merged order equals the trace order restricted to events
+// touching that bin — which is why the partitioned apply reproduces the
+// sequential apply's final state exactly (see serve/event_loop.hpp).
+//
+// Queues grow amortized (no fixed capacity, so "overflow" is growth past
+// the reserve, also pinned by tests); clear() keeps capacity so steady
+// state allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rlslb::serve {
+
+/// One resolved mutation of one bin. `weight` is always the moved ball's
+/// positive weight; Kind says which direction the bin's load moves.
+struct BinOp {
+  std::int64_t ordinal = 0;  // epoch-local event index: the canonical key
+  std::int64_t ball = 0;
+  std::int64_t weight = 0;
+  std::int32_t bin = 0;
+  enum class Kind : std::uint8_t { kPlace = 0, kRemove = 1 };
+  Kind kind = Kind::kPlace;
+
+  friend bool operator==(const BinOp&, const BinOp&) = default;
+};
+
+class CrossShardQueues {
+ public:
+  explicit CrossShardQueues(int shards = 1) { reset(shards); }
+
+  /// Resize to an S x S matrix and drop all pending ops and stats.
+  void reset(int shards) {
+    RLSLB_ASSERT_MSG(shards >= 1, "CrossShardQueues needs at least one shard");
+    shards_ = shards;
+    queues_.assign(static_cast<std::size_t>(shards) * static_cast<std::size_t>(shards), {});
+    peakDepth_ = 0;
+    pushed_ = 0;
+  }
+
+  /// Drop pending ops and per-epoch stats but keep shape and capacity.
+  void clear() {
+    for (auto& q : queues_) q.clear();
+    peakDepth_ = 0;
+    pushed_ = 0;
+  }
+
+  [[nodiscard]] int shards() const { return shards_; }
+
+  void push(int from, int to, const BinOp& op) {
+    auto& q = at(from, to);
+    RLSLB_ASSERT_MSG(q.empty() || q.back().ordinal <= op.ordinal,
+                     "queue pushes must be ordinal-ascending per (from, to) pair");
+    q.push_back(op);
+    ++pushed_;
+    if (static_cast<std::int64_t>(q.size()) > peakDepth_) {
+      peakDepth_ = static_cast<std::int64_t>(q.size());
+    }
+  }
+
+  /// Visit every op destined for owner `to` in canonical (ordinal, from)
+  /// order. Non-destructive: the epoch driver calls clear() once every
+  /// owner has drained.
+  template <class Visitor>
+  void drainTo(int to, Visitor&& visit) const {
+    // k-way merge over the column's S source queues; S is small, so a
+    // linear min scan beats a heap.
+    std::vector<std::size_t> cursor(static_cast<std::size_t>(shards_), 0);
+    for (;;) {
+      int best = -1;
+      std::int64_t bestOrdinal = 0;
+      for (int from = 0; from < shards_; ++from) {
+        const auto& q = at(from, to);
+        const std::size_t c = cursor[static_cast<std::size_t>(from)];
+        if (c >= q.size()) continue;
+        if (best < 0 || q[c].ordinal < bestOrdinal) {
+          best = from;
+          bestOrdinal = q[c].ordinal;
+        }
+      }
+      if (best < 0) return;
+      visit(at(best, to)[cursor[static_cast<std::size_t>(best)]++]);
+    }
+  }
+
+  /// Ops queued for owner `to` (all sources).
+  [[nodiscard]] std::int64_t pendingFor(int to) const {
+    std::int64_t n = 0;
+    for (int from = 0; from < shards_; ++from) {
+      n += static_cast<std::int64_t>(at(from, to).size());
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t totalPending() const { return pushed_; }
+
+  /// Off-diagonal ops: balls crossing an ownership boundary.
+  [[nodiscard]] std::int64_t crossPending() const {
+    std::int64_t n = 0;
+    for (int from = 0; from < shards_; ++from) {
+      for (int to = 0; to < shards_; ++to) {
+        if (from != to) n += static_cast<std::int64_t>(at(from, to).size());
+      }
+    }
+    return n;
+  }
+
+  /// Deepest any single (from, to) queue has been since clear()/reset().
+  [[nodiscard]] std::int64_t peakDepth() const { return peakDepth_; }
+
+  [[nodiscard]] bool empty() const { return pushed_ == 0; }
+
+ private:
+  [[nodiscard]] std::vector<BinOp>& at(int from, int to) {
+    return queues_[static_cast<std::size_t>(from) * static_cast<std::size_t>(shards_) +
+                   static_cast<std::size_t>(to)];
+  }
+  [[nodiscard]] const std::vector<BinOp>& at(int from, int to) const {
+    return queues_[static_cast<std::size_t>(from) * static_cast<std::size_t>(shards_) +
+                   static_cast<std::size_t>(to)];
+  }
+
+  int shards_ = 1;
+  std::vector<std::vector<BinOp>> queues_;  // row-major [from][to]
+  std::int64_t peakDepth_ = 0;
+  std::int64_t pushed_ = 0;  // ops since clear() (none are popped in place)
+};
+
+}  // namespace rlslb::serve

@@ -1,18 +1,77 @@
 #include "serve/online_allocator.hpp"
 
+#include <utility>
+
 #include "rng/distributions.hpp"
 #include "util/assert.hpp"
 
 namespace rlslb::serve {
 
 OnlineAllocator::OnlineAllocator(const AllocatorOptions& options)
-    : options_(options),
-      loads_(static_cast<std::size_t>(options.bins), 0),
-      mass_(static_cast<std::size_t>(options.bins)),
-      binBalls_(static_cast<std::size_t>(options.bins)) {
-  RLSLB_ASSERT(options_.bins >= 1);
-  RLSLB_ASSERT(options_.arrivalChoices >= 1);
-  levels_[0] = options_.bins;
+    : options_(options), loads_(static_cast<std::size_t>(options.bins), 0) {
+  RLSLB_ASSERT_MSG(options_.bins >= 1, "AllocatorOptions.bins must be >= 1");
+  RLSLB_ASSERT_MSG(options_.arrivalChoices >= 1,
+                   "AllocatorOptions.arrivalChoices must be >= 1");
+  configurePartitions(1, /*enableRouter=*/false);
+}
+
+int OnlineAllocator::configurePartitions(int shards, bool enableRouter) {
+  const BinPartition next(numBins(), shards);
+  RLSLB_ASSERT_MSG(enableRouter || next.numShards() == 1,
+                   "a multi-shard layout requires the ball router (resolve() and the "
+                   "fused apply() both locate balls through it)");
+  if (!shards_.empty() && next.numShards() == partition_.numShards() &&
+      enableRouter == routerEnabled_) {
+    return partition_.numShards();  // layout already in place
+  }
+
+  // Collect every live ball record; bins keep their per-bin ball order
+  // (moved wholesale below), so slots — and with them the repair pick
+  // stream — survive any repartition.
+  std::vector<std::pair<std::int64_t, BallRec>> live;
+  live.reserve(static_cast<std::size_t>(liveBalls_));
+  for (Shard& shard : shards_) {
+    for (auto& entry : shard.balls) live.push_back(entry);
+  }
+  std::vector<std::vector<std::int64_t>> allBinBalls(loads_.size());
+  for (Shard& shard : shards_) {
+    for (std::size_t local = 0; local < shard.binBalls.size(); ++local) {
+      allBinBalls[static_cast<std::size_t>(shard.firstBin) + local] =
+          std::move(shard.binBalls[local]);
+    }
+  }
+
+  partition_ = next;
+  const int count = partition_.numShards();
+  shards_.assign(static_cast<std::size_t>(count), Shard{});
+  for (int s = 0; s < count; ++s) {
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    shard.firstBin = partition_.beginBin(s);
+    const auto begin = static_cast<std::size_t>(shard.firstBin);
+    const auto end = static_cast<std::size_t>(partition_.endBin(s));
+    shard.binLoad.assign(loads_.begin() + static_cast<std::ptrdiff_t>(begin),
+                         loads_.begin() + static_cast<std::ptrdiff_t>(end));
+    shard.mass = ds::Fenwick<std::int64_t>(shard.binLoad);
+    shard.levels.clear();
+    for (const std::int64_t load : shard.binLoad) ++shard.levels[load];
+    shard.binBalls.assign(end - begin, {});
+    for (std::size_t bin = begin; bin < end; ++bin) {
+      shard.binBalls[bin - begin] = std::move(allBinBalls[bin]);
+    }
+  }
+  for (const auto& [ball, rec] : live) {
+    shardOf(rec.bin).balls.emplace(ball, rec);
+  }
+
+  routerEnabled_ = enableRouter;
+  router_.clear();
+  if (routerEnabled_) {
+    router_.reserve(live.size());
+    for (const auto& [ball, rec] : live) {
+      router_.emplace(ball, RouteRec{rec.bin, rec.weight});
+    }
+  }
+  return count;
 }
 
 Decision OnlineAllocator::decide(const workload::Event& event,
@@ -56,29 +115,48 @@ void OnlineAllocator::apply(const workload::Event& event, const Decision& decisi
     }
     case workload::EventKind::kDepart: {
       ++counters_.departures;
-      const auto it = balls_.find(event.ball);
-      RLSLB_ASSERT_MSG(it != balls_.end(), "depart event for a ball that is not live");
+      Shard* shard;
+      if (routerEnabled_) {
+        const auto route = router_.find(event.ball);
+        RLSLB_ASSERT_MSG(route != router_.end(), "depart event for a ball that is not live");
+        shard = &shardOf(route->second.bin);
+        router_.erase(route);
+      } else {
+        shard = &shards_[0];
+      }
+      const auto it = shard->balls.find(event.ball);
+      RLSLB_ASSERT_MSG(it != shard->balls.end(), "depart event for a ball that is not live");
       const BallRec rec = it->second;
-      balls_.erase(it);
-      eraseBall(event.ball, rec);
-      changeLoad(rec.bin, -rec.weight);
+      shard->balls.erase(it);
+      eraseBall(*shard, event.ball, rec);
+      changeLoad(*shard, rec.bin, -rec.weight);
+      --liveBalls_;
       break;
     }
     case workload::EventKind::kResample: {
       ++counters_.resamples;
       RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
-      const auto it = balls_.find(event.ball);
-      RLSLB_ASSERT_MSG(it != balls_.end(), "resample event for a ball that is not live");
-      BallRec& rec = it->second;
-      const std::int32_t src = rec.bin;
+      Shard* shard;
+      if (routerEnabled_) {
+        const auto route = router_.find(event.ball);
+        RLSLB_ASSERT_MSG(route != router_.end(),
+                         "resample event for a ball that is not live");
+        shard = &shardOf(route->second.bin);
+      } else {
+        shard = &shards_[0];
+      }
+      const auto it = shard->balls.find(event.ball);
+      RLSLB_ASSERT_MSG(it != shard->balls.end(),
+                       "resample event for a ball that is not live");
+      const std::int32_t src = it->second.bin;
       const std::int32_t dst = decision.bin;
       // Strict local-search rule on *live* loads: the sampled candidate
       // came from the epoch snapshot stream, but the acceptance must never
       // worsen balance, so it is re-checked here.
-      if (dst != src && loads_[static_cast<std::size_t>(dst)] + rec.weight <
+      if (dst != src && loads_[static_cast<std::size_t>(dst)] + it->second.weight <
                             loads_[static_cast<std::size_t>(src)]) {
         ++counters_.migrations;
-        moveBall(event.ball, rec, dst);
+        moveBall(event.ball, *shard, it, dst);
       } else {
         ++counters_.rejectedMoves;
       }
@@ -87,110 +165,298 @@ void OnlineAllocator::apply(const workload::Event& event, const Decision& decisi
   }
 }
 
+void OnlineAllocator::resolve(const workload::Event& event, const Decision& decision,
+                              std::int64_t ordinal, CrossShardQueues& queues) {
+  RLSLB_ASSERT_MSG(routerEnabled_,
+                   "resolve() needs the ball router; configurePartitions(shards, "
+                   "/*enableRouter=*/true) first");
+  ++counters_.events;
+  switch (event.kind) {
+    case workload::EventKind::kArrive: {
+      RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
+      ++counters_.arrivals;
+      RLSLB_ASSERT(event.weight >= 1);
+      if (event.weight > maxWeightSeen_) maxWeightSeen_ = event.weight;
+      const bool inserted =
+          router_.emplace(event.ball, RouteRec{decision.bin, event.weight}).second;
+      RLSLB_ASSERT_MSG(inserted, "arrive event for a ball id that is already live");
+      loads_[static_cast<std::size_t>(decision.bin)] += event.weight;
+      totalLoad_ += event.weight;
+      ++liveBalls_;
+      const int owner = partition_.ownerOf(decision.bin);
+      queues.push(owner, owner,
+                  BinOp{ordinal, event.ball, event.weight, decision.bin,
+                        BinOp::Kind::kPlace});
+      break;
+    }
+    case workload::EventKind::kDepart: {
+      ++counters_.departures;
+      const auto route = router_.find(event.ball);
+      RLSLB_ASSERT_MSG(route != router_.end(), "depart event for a ball that is not live");
+      const RouteRec rec = route->second;
+      router_.erase(route);
+      loads_[static_cast<std::size_t>(rec.bin)] -= rec.weight;
+      RLSLB_ASSERT(loads_[static_cast<std::size_t>(rec.bin)] >= 0);
+      totalLoad_ -= rec.weight;
+      --liveBalls_;
+      const int owner = partition_.ownerOf(rec.bin);
+      queues.push(owner, owner,
+                  BinOp{ordinal, event.ball, rec.weight, rec.bin, BinOp::Kind::kRemove});
+      break;
+    }
+    case workload::EventKind::kResample: {
+      ++counters_.resamples;
+      RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
+      const auto route = router_.find(event.ball);
+      RLSLB_ASSERT_MSG(route != router_.end(),
+                       "resample event for a ball that is not live");
+      RouteRec& rec = route->second;
+      const std::int32_t src = rec.bin;
+      const std::int32_t dst = decision.bin;
+      // Exactly apply()'s live-load acceptance: loads_ has absorbed every
+      // earlier event of the epoch, so the partitioned path accepts and
+      // rejects the very same moves the fused path would.
+      if (dst != src && loads_[static_cast<std::size_t>(dst)] + rec.weight <
+                            loads_[static_cast<std::size_t>(src)]) {
+        ++counters_.migrations;
+        loads_[static_cast<std::size_t>(src)] -= rec.weight;
+        loads_[static_cast<std::size_t>(dst)] += rec.weight;
+        const int from = partition_.ownerOf(src);
+        const int to = partition_.ownerOf(dst);
+        // Remove before Place so a same-owner migration replays in the
+        // right order out of the (from, from) queue.
+        queues.push(from, from,
+                    BinOp{ordinal, event.ball, rec.weight, src, BinOp::Kind::kRemove});
+        queues.push(from, to,
+                    BinOp{ordinal, event.ball, rec.weight, dst, BinOp::Kind::kPlace});
+        rec.bin = dst;
+      } else {
+        ++counters_.rejectedMoves;
+      }
+      break;
+    }
+  }
+}
+
+void OnlineAllocator::applyShardOps(int shard, const CrossShardQueues& queues) {
+  RLSLB_ASSERT(shard >= 0 && shard < partition_.numShards());
+  Shard& s = shards_[static_cast<std::size_t>(shard)];
+  queues.drainTo(shard, [&](const BinOp& op) {
+    if (op.kind == BinOp::Kind::kPlace) {
+      materializePlace(s, op);
+    } else {
+      materializeRemove(s, op);
+    }
+  });
+}
+
 bool OnlineAllocator::repairMove(rng::Xoshiro256pp& eng) {
-  const std::int64_t total = mass_.total();
+  const std::int64_t total = totalLoad_;
   if (total == 0) return false;
   ++counters_.repairAttempts;
   // Load-weighted bin pick, then a uniform ball within the bin: with unit
   // weights this composes to a uniform pick over live balls (the RLS
   // activation); with weights it biases toward heavy bins, which is the
-  // direction a repair pass wants anyway.
-  const auto ticket = static_cast<std::int64_t>(
+  // direction a repair pass wants anyway. The two-level walk (shard mass
+  // prefix, then the owner's local Fenwick) lands on the same bin the old
+  // single global Fenwick's upperBound did, because ownership ranges
+  // concatenate in bin order.
+  auto ticket = static_cast<std::int64_t>(
       rng::uniformIndex(eng, static_cast<std::uint64_t>(total)));
-  const auto src = static_cast<std::int32_t>(mass_.upperBound(ticket));
-  auto& srcBalls = binBalls_[static_cast<std::size_t>(src)];
+  std::size_t owner = 0;
+  while (ticket >= shards_[owner].mass.total()) {
+    ticket -= shards_[owner].mass.total();
+    ++owner;
+    RLSLB_ASSERT(owner < shards_.size());
+  }
+  Shard& srcShard = shards_[owner];
+  const auto src = static_cast<std::int32_t>(
+      srcShard.firstBin + static_cast<std::int64_t>(srcShard.mass.upperBound(ticket)));
+  auto& srcBalls =
+      srcShard.binBalls[static_cast<std::size_t>(src - srcShard.firstBin)];
   RLSLB_ASSERT(!srcBalls.empty());
   const auto pick = static_cast<std::size_t>(
       rng::uniformIndex(eng, static_cast<std::uint64_t>(srcBalls.size())));
   const std::int64_t ball = srcBalls[pick];
   const auto dst = static_cast<std::int32_t>(
       rng::uniformIndex(eng, static_cast<std::uint64_t>(loads_.size())));
-  BallRec& rec = balls_.at(ball);
-  if (dst == src || loads_[static_cast<std::size_t>(dst)] + rec.weight >=
+  const auto it = srcShard.balls.find(ball);
+  RLSLB_ASSERT(it != srcShard.balls.end());
+  if (dst == src || loads_[static_cast<std::size_t>(dst)] + it->second.weight >=
                         loads_[static_cast<std::size_t>(src)]) {
     return false;
   }
   ++counters_.repairMigrations;
-  moveBall(ball, rec, dst);
+  moveBall(ball, srcShard, it, dst);
   return true;
 }
 
-void OnlineAllocator::changeLoad(std::int32_t bin, std::int64_t delta) {
-  const auto i = static_cast<std::size_t>(bin);
-  const std::int64_t before = loads_[i];
+void OnlineAllocator::changeLoad(Shard& shard, std::int32_t bin, std::int64_t delta) {
+  const auto local = static_cast<std::size_t>(bin - shard.firstBin);
+  const std::int64_t before = shard.binLoad[local];
   const std::int64_t after = before + delta;
   RLSLB_ASSERT(after >= 0);
-  loads_[i] = after;
-  mass_.add(i, delta);
-  const auto it = levels_.find(before);
-  if (--(it->second) == 0) levels_.erase(it);
-  ++levels_[after];
+  shard.binLoad[local] = after;
+  loads_[static_cast<std::size_t>(bin)] = after;
+  totalLoad_ += delta;
+  shard.mass.add(local, delta);
+  const auto it = shard.levels.find(before);
+  if (--(it->second) == 0) shard.levels.erase(it);
+  ++shard.levels[after];
 }
 
 void OnlineAllocator::placeBall(std::int64_t ball, std::int64_t weight, std::int32_t bin) {
   RLSLB_ASSERT(weight >= 1);
   if (weight > maxWeightSeen_) maxWeightSeen_ = weight;
-  auto& slot = binBalls_[static_cast<std::size_t>(bin)];
-  const auto [it, inserted] =
-      balls_.emplace(ball, BallRec{bin, weight, static_cast<std::int32_t>(slot.size())});
+  Shard& shard = shardOf(bin);
+  auto& slot = shard.binBalls[static_cast<std::size_t>(bin - shard.firstBin)];
+  const auto [it, inserted] = shard.balls.emplace(
+      ball, BallRec{bin, weight, static_cast<std::int32_t>(slot.size())});
   RLSLB_ASSERT_MSG(inserted, "arrive event for a ball id that is already live");
   (void)it;
+  if (routerEnabled_) {
+    const bool routed = router_.emplace(ball, RouteRec{bin, weight}).second;
+    RLSLB_ASSERT(routed);
+  }
   slot.push_back(ball);
-  changeLoad(bin, weight);
+  changeLoad(shard, bin, weight);
+  ++liveBalls_;
 }
 
-void OnlineAllocator::eraseBall(std::int64_t ball, const BallRec& rec) {
-  auto& slot = binBalls_[static_cast<std::size_t>(rec.bin)];
+void OnlineAllocator::eraseBall(Shard& shard, std::int64_t ball, const BallRec& rec) {
+  auto& slot = shard.binBalls[static_cast<std::size_t>(rec.bin - shard.firstBin)];
   RLSLB_ASSERT(slot[static_cast<std::size_t>(rec.slot)] == ball);
   const std::int64_t moved = slot.back();
   slot[static_cast<std::size_t>(rec.slot)] = moved;
   slot.pop_back();
-  if (moved != ball) balls_.at(moved).slot = rec.slot;
+  if (moved != ball) shard.balls.at(moved).slot = rec.slot;
 }
 
-void OnlineAllocator::moveBall(std::int64_t ball, BallRec& rec, std::int32_t toBin) {
-  const BallRec old = rec;
-  eraseBall(ball, old);
-  auto& dstSlot = binBalls_[static_cast<std::size_t>(toBin)];
-  rec.bin = toBin;
-  rec.slot = static_cast<std::int32_t>(dstSlot.size());
+void OnlineAllocator::moveBall(std::int64_t ball, Shard& srcShard,
+                               std::unordered_map<std::int64_t, BallRec>::iterator it,
+                               std::int32_t toBin) {
+  const BallRec old = it->second;
+  eraseBall(srcShard, ball, old);
+  Shard& dstShard = shardOf(toBin);
+  auto& dstSlot = dstShard.binBalls[static_cast<std::size_t>(toBin - dstShard.firstBin)];
+  const BallRec next{toBin, old.weight, static_cast<std::int32_t>(dstSlot.size())};
+  if (&dstShard == &srcShard) {
+    it->second = next;
+  } else {
+    srcShard.balls.erase(it);
+    dstShard.balls.emplace(ball, next);
+  }
   dstSlot.push_back(ball);
-  changeLoad(old.bin, -old.weight);
-  changeLoad(toBin, old.weight);
+  changeLoad(srcShard, old.bin, -old.weight);
+  changeLoad(dstShard, toBin, old.weight);
+  if (routerEnabled_) router_.find(ball)->second.bin = toBin;
+}
+
+void OnlineAllocator::materializePlace(Shard& shard, const BinOp& op) {
+  auto& slot = shard.binBalls[static_cast<std::size_t>(op.bin - shard.firstBin)];
+  const auto [it, inserted] = shard.balls.emplace(
+      op.ball, BallRec{op.bin, op.weight, static_cast<std::int32_t>(slot.size())});
+  RLSLB_ASSERT_MSG(inserted, "Place op for a ball already present in the owner shard");
+  (void)it;
+  slot.push_back(op.ball);
+  localChangeLoad(shard, static_cast<std::size_t>(op.bin - shard.firstBin), op.weight);
+}
+
+void OnlineAllocator::materializeRemove(Shard& shard, const BinOp& op) {
+  const auto it = shard.balls.find(op.ball);
+  RLSLB_ASSERT_MSG(it != shard.balls.end(), "Remove op for a ball the owner never held");
+  const BallRec rec = it->second;
+  RLSLB_ASSERT(rec.bin == op.bin);
+  eraseBall(shard, op.ball, rec);
+  shard.balls.erase(it);
+  localChangeLoad(shard, static_cast<std::size_t>(op.bin - shard.firstBin), -op.weight);
+}
+
+void OnlineAllocator::localChangeLoad(Shard& shard, std::size_t local,
+                                      std::int64_t delta) {
+  const std::int64_t before = shard.binLoad[local];
+  const std::int64_t after = before + delta;
+  RLSLB_ASSERT(after >= 0);
+  shard.binLoad[local] = after;
+  shard.mass.add(local, delta);
+  const auto it = shard.levels.find(before);
+  if (--(it->second) == 0) shard.levels.erase(it);
+  ++shard.levels[after];
+}
+
+std::int64_t OnlineAllocator::minLoad() const {
+  std::int64_t lo = shards_[0].levels.begin()->first;
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    lo = std::min(lo, shards_[s].levels.begin()->first);
+  }
+  return lo;
+}
+
+std::int64_t OnlineAllocator::maxLoad() const {
+  std::int64_t hi = shards_[0].levels.rbegin()->first;
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    hi = std::max(hi, shards_[s].levels.rbegin()->first);
+  }
+  return hi;
 }
 
 sim::BalanceState OnlineAllocator::balanceState() const {
   sim::BalanceState state;
   state.numBins = numBins();
-  state.numBalls = mass_.total();  // total carried weight
+  state.numBalls = totalLoad_;  // total carried weight
   state.minLoad = minLoad();
   state.maxLoad = maxLoad();
   const std::int64_t ceilAvg = (state.numBalls + state.numBins - 1) / state.numBins;
-  for (auto it = levels_.upper_bound(ceilAvg); it != levels_.end(); ++it) {
-    state.overloadedBalls += (it->first - ceilAvg) * it->second;
+  for (const Shard& shard : shards_) {
+    for (auto it = shard.levels.upper_bound(ceilAvg); it != shard.levels.end(); ++it) {
+      state.overloadedBalls += (it->first - ceilAvg) * it->second;
+    }
   }
   return state;
 }
 
 bool OnlineAllocator::validate() const {
   std::int64_t total = 0;
-  std::map<std::int64_t, std::int64_t> levels;
-  for (std::size_t bin = 0; bin < loads_.size(); ++bin) {
-    std::int64_t binLoad = 0;
-    for (std::size_t s = 0; s < binBalls_[bin].size(); ++s) {
-      const auto it = balls_.find(binBalls_[bin][s]);
-      if (it == balls_.end()) return false;
-      if (it->second.bin != static_cast<std::int32_t>(bin)) return false;
-      if (it->second.slot != static_cast<std::int32_t>(s)) return false;
-      binLoad += it->second.weight;
+  std::int64_t ballCount = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    if (shard.firstBin != partition_.beginBin(static_cast<int>(s))) return false;
+    std::map<std::int64_t, std::int64_t> levels;
+    for (std::size_t local = 0; local < shard.binBalls.size(); ++local) {
+      const auto bin = static_cast<std::size_t>(shard.firstBin) + local;
+      std::int64_t binLoad = 0;
+      for (std::size_t i = 0; i < shard.binBalls[local].size(); ++i) {
+        const std::int64_t ball = shard.binBalls[local][i];
+        const auto it = shard.balls.find(ball);
+        if (it == shard.balls.end()) return false;
+        if (it->second.bin != static_cast<std::int32_t>(bin)) return false;
+        if (it->second.slot != static_cast<std::int32_t>(i)) return false;
+        binLoad += it->second.weight;
+        if (routerEnabled_) {
+          const auto route = router_.find(ball);
+          if (route == router_.end()) return false;
+          if (route->second.bin != it->second.bin) return false;
+          if (route->second.weight != it->second.weight) return false;
+        }
+      }
+      if (binLoad != shard.binLoad[local]) return false;
+      if (binLoad != loads_[bin]) return false;
+      if (shard.mass.get(local) != binLoad) return false;
+      total += binLoad;
+      ++levels[binLoad];
     }
-    if (binLoad != loads_[bin]) return false;
-    if (mass_.get(bin) != loads_[bin]) return false;
-    total += binLoad;
-    ++levels[loads_[bin]];
+    if (levels != shard.levels) return false;
+    std::int64_t shardMass = 0;
+    for (const std::int64_t v : shard.binLoad) shardMass += v;
+    if (shard.mass.total() != shardMass) return false;
+    ballCount += static_cast<std::int64_t>(shard.balls.size());
   }
-  if (total != mass_.total()) return false;
-  return levels == levels_;
+  if (total != totalLoad_) return false;
+  if (ballCount != liveBalls_) return false;
+  if (routerEnabled_ && static_cast<std::int64_t>(router_.size()) != liveBalls_) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace rlslb::serve

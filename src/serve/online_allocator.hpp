@@ -1,4 +1,5 @@
-// OnlineAllocator: incremental ball-to-bin state for the serving subsystem.
+// OnlineAllocator: incremental ball-to-bin state for the serving subsystem,
+// laid out as shard-owned partitions.
 //
 // The closed-system engines re-simulate a whole configuration to absorption;
 // the serving layer instead maintains one long-lived allocation and applies
@@ -15,16 +16,41 @@
 //             ">=" while never paying for a neutral migration (migrations
 //             are the expensive operation in a serving system).
 //
-// Per-event cost is O(log n): bin loads live in a ds::Fenwick (O(1) total,
-// O(log n) update and load-weighted sampling for the repair pass) plus a
-// load-level histogram (LoadMultiset's level/count view as an ordered map:
-// O(log L) update, O(1) min/max/gap).
+// State layout (the partitioned-apply substrate; see serve/event_loop.hpp):
+// bins are split into contiguous ranges by a BinPartition, and each range
+// owns its own Fenwick mass tree, load-level histogram, and per-bin ball
+// index. Global views (loads(), gap(), balanceState(), the load-weighted
+// repair sample) merge the per-shard structures in O(shards) — and because
+// the ranges concatenate in bin order, every merged answer is bit-identical
+// to the single-structure layout this replaced. configurePartitions()
+// rebalances the layout at any epoch boundary; partitioning is an
+// execution-layout knob with zero semantic footprint.
 //
-// Decision/apply split: decide() is a *pure* function of (event, load
-// snapshot, rng) so the sharded event loop (serve/event_loop.hpp) can fan
-// decisions out across threads; apply() mutates and re-validates the RLS
-// rule against live loads, so a stale snapshot can cost an extra rejected
-// migration but never a balance-worsening move.
+// Two ways to consume an event stream, with identical semantics:
+//
+//   apply(event, decision)       Fused sequential path: resolve + mutate in
+//                                one pass against live loads. The
+//                                single-shard hot path (~25M events/sec).
+//
+//   resolve(...) + applyShardOps(...)
+//                                Partitioned path: resolve() walks events
+//                                in trace order touching only the flat load
+//                                array + the ball router (exact live-load
+//                                acceptance, every semantic counter), and
+//                                emits Place/Remove BinOps into per-shard-
+//                                pair queues; applyShardOps(s, queues) then
+//                                materializes shard s's ops — Fenwick,
+//                                level histogram, ball slots — in canonical
+//                                (ordinal, source) order, safely in
+//                                parallel with the other owners because
+//                                every touched structure is owned by s.
+//                                Per bin, the canonical order equals trace
+//                                order restricted to that bin, so the final
+//                                state is byte-identical to apply().
+//
+// Per-event cost is O(log n) either way; the point of the split is that
+// resolve() is the *cheap* part (array reads/writes + one hash lookup) and
+// the O(log n) Fenwick/histogram/slot work runs shard-parallel.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +60,8 @@
 
 #include "ds/fenwick.hpp"
 #include "rng/xoshiro256pp.hpp"
+#include "serve/migration_queue.hpp"
+#include "serve/partition.hpp"
 #include "sim/engine.hpp"
 #include "workload/event.hpp"
 
@@ -65,67 +93,133 @@ class OnlineAllocator {
  public:
   explicit OnlineAllocator(const AllocatorOptions& options);
 
+  /// Re-split the bins into `shards` contiguous ownership ranges (clamped
+  /// to [1, bins]; returns the actual count). Rebuilds the per-shard
+  /// structures and, when `enableRouter`, the ball -> (bin, weight) router
+  /// that resolve() needs. O(n + balls); call between epochs, never while
+  /// applyShardOps is in flight. Purely an execution-layout change: every
+  /// observable (loads, counters, per-bin ball order, repair stream) is
+  /// unchanged.
+  int configurePartitions(int shards, bool enableRouter);
+  [[nodiscard]] int partitions() const { return partition_.numShards(); }
+  [[nodiscard]] const BinPartition& partition() const { return partition_; }
+
   /// Pure decision phase: thread-safe with respect to *this (reads only
   /// the options) — every mutable input is an argument.
   [[nodiscard]] Decision decide(const workload::Event& event,
                                 const std::vector<std::int64_t>& snapshotLoads,
                                 rng::Xoshiro256pp& eng) const;
 
-  /// Apply phase: single-threaded, validates against live state.
+  /// Fused apply: single-threaded, validates against live state. Works for
+  /// any partition count (it locates the owner per touched bin).
   void apply(const workload::Event& event, const Decision& decision);
+
+  /// Partitioned apply, step 1 (sequential, trace order): resolve the
+  /// event against live loads exactly as apply() would — same acceptance
+  /// rule, same counters, same final `loads()` — but defer the per-shard
+  /// structure mutations as BinOps pushed into `queues`. `ordinal` is the
+  /// epoch-local event index (the canonical order key). Requires the
+  /// router (configurePartitions with enableRouter = true).
+  void resolve(const workload::Event& event, const Decision& decision,
+               std::int64_t ordinal, CrossShardQueues& queues);
+
+  /// Partitioned apply, step 2: materialize every op destined for `shard`
+  /// in canonical order. Touches only shard-owned state, so distinct
+  /// shards may run concurrently; the epoch driver must finish all shards
+  /// (and only then clear the queues) before any global accessor or the
+  /// next resolve() call.
+  void applyShardOps(int shard, const CrossShardQueues& queues);
 
   /// One RLS repair activation on live state: a load-weighted bin pick
   /// (with unit weights this is exactly "activate a uniform ball"), a
   /// uniform candidate bin, and the strict migration rule. Returns whether
   /// a ball moved. Used by the event loop's cross-shard rebalance.
+  /// Sequential only (mutates arbitrary shards).
   bool repairMove(rng::Xoshiro256pp& eng);
 
   [[nodiscard]] std::int64_t numBins() const {
     return static_cast<std::int64_t>(loads_.size());
   }
   [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
-  [[nodiscard]] std::int64_t totalLoad() const { return mass_.total(); }
-  [[nodiscard]] std::int64_t liveBalls() const {
-    return static_cast<std::int64_t>(balls_.size());
-  }
-  [[nodiscard]] std::int64_t minLoad() const { return levels_.begin()->first; }
-  [[nodiscard]] std::int64_t maxLoad() const { return levels_.rbegin()->first; }
+  [[nodiscard]] std::int64_t totalLoad() const { return totalLoad_; }
+  [[nodiscard]] std::int64_t liveBalls() const { return liveBalls_; }
+  /// Merged over the per-shard level histograms; O(shards).
+  [[nodiscard]] std::int64_t minLoad() const;
+  [[nodiscard]] std::int64_t maxLoad() const;
   /// max - min bin load: the serving analogue of the discrepancy.
   [[nodiscard]] std::int64_t gap() const { return maxLoad() - minLoad(); }
   /// The live state as the closed-system balance view (sim::BalanceState,
   /// the same vocabulary process::Process::state() speaks): numBalls is the
   /// total carried *weight*, so discrepancy()/xBalanced() are in weight
-  /// units. min/max are O(1); overloaded balls walks the level histogram's
-  /// tail above ceil(weight/bins) -- short exactly when the allocator keeps
-  /// the system balanced.
+  /// units. min/max are O(shards); overloaded balls walks each shard
+  /// histogram's tail above ceil(weight/bins) -- short exactly when the
+  /// allocator keeps the system balanced.
   [[nodiscard]] sim::BalanceState balanceState() const;
   /// Largest single ball weight ever seen: the closed-system balance floor
   /// for weighted traffic (a gap below the heaviest ball is unreachable).
   [[nodiscard]] std::int64_t maxWeightSeen() const { return maxWeightSeen_; }
   [[nodiscard]] const ServeCounters& counters() const { return counters_; }
 
-  /// Internal-consistency scan (O(n + m); tests only).
+  /// Internal-consistency scan across every shard, the global load array,
+  /// and the router when enabled (O(n + m); tests only).
   [[nodiscard]] bool validate() const;
 
  private:
-  AllocatorOptions options_;
-  std::vector<std::int64_t> loads_;
-  ds::Fenwick<std::int64_t> mass_;        // bin -> load (repair sampling, total)
-  std::map<std::int64_t, std::int64_t> levels_;  // load value -> #bins
   struct BallRec {
     std::int32_t bin = 0;
     std::int64_t weight = 0;
-    std::int32_t slot = 0;  // index in binBalls_[bin]
+    std::int32_t slot = 0;  // index in the owner shard's binBalls for `bin`
   };
-  std::unordered_map<std::int64_t, BallRec> balls_;
-  std::vector<std::vector<std::int64_t>> binBalls_;  // live ball ids per bin
-  ServeCounters counters_;
-  std::int64_t maxWeightSeen_ = 0;
+  /// Lightweight router record: everything resolve() needs to route and
+  /// re-validate an event without consulting owner-local state.
+  struct RouteRec {
+    std::int32_t bin = 0;
+    std::int64_t weight = 0;
+  };
+  /// One ownership range's private state. applyShardOps(s) writes only
+  /// shards_[s]; nothing here is shared across owners.
+  struct Shard {
+    std::int64_t firstBin = 0;               // == partition_.beginBin(s)
+    std::vector<std::int64_t> binLoad;       // local copy driving `levels`
+    ds::Fenwick<std::int64_t> mass{1};       // local range, local indices
+    std::map<std::int64_t, std::int64_t> levels;       // load value -> #bins
+    std::vector<std::vector<std::int64_t>> binBalls;   // ball ids per bin
+    std::unordered_map<std::int64_t, BallRec> balls;   // balls in this range
+  };
 
-  void changeLoad(std::int32_t bin, std::int64_t delta);
+  [[nodiscard]] Shard& shardOf(std::int32_t bin) {
+    // Single-shard fast path: ownerOf costs an integer division, which is
+    // measurable on the fused hot loop (~25M events/sec single-thread).
+    if (shards_.size() == 1) return shards_[0];
+    return shards_[static_cast<std::size_t>(partition_.ownerOf(bin))];
+  }
+
+  // Fused-path helpers (sequential; update shard state + global mirrors).
+  void changeLoad(Shard& shard, std::int32_t bin, std::int64_t delta);
   void placeBall(std::int64_t ball, std::int64_t weight, std::int32_t bin);
-  void moveBall(std::int64_t ball, BallRec& rec, std::int32_t toBin);
-  void eraseBall(std::int64_t ball, const BallRec& rec);
+  void moveBall(std::int64_t ball, Shard& srcShard,
+                std::unordered_map<std::int64_t, BallRec>::iterator it,
+                std::int32_t toBin);
+  void eraseBall(Shard& shard, std::int64_t ball, const BallRec& rec);
+
+  // Owner-local materialization (applyShardOps; must not touch globals).
+  void materializePlace(Shard& shard, const BinOp& op);
+  void materializeRemove(Shard& shard, const BinOp& op);
+  void localChangeLoad(Shard& shard, std::size_t local, std::int64_t delta);
+
+  AllocatorOptions options_;
+  BinPartition partition_;
+  std::vector<Shard> shards_;
+  std::vector<std::int64_t> loads_;  // global bin loads; resolve()'s working set
+  // Ball -> (bin, weight), maintained only when the partitioned path is
+  // active (configurePartitions enableRouter): resolve() cannot ask the
+  // owner maps because finding the owner requires the bin it is looking up.
+  std::unordered_map<std::int64_t, RouteRec> router_;
+  bool routerEnabled_ = false;
+  ServeCounters counters_;
+  std::int64_t totalLoad_ = 0;
+  std::int64_t liveBalls_ = 0;
+  std::int64_t maxWeightSeen_ = 0;
 };
 
 }  // namespace rlslb::serve

@@ -1,0 +1,66 @@
+// BinPartition: the serving layer's ownership map from bins to apply
+// shards.
+//
+// Ownership is by contiguous ranges in ascending bin order: shard s owns
+// [beginBin(s), endBin(s)), the first `bins % shards` shards holding one
+// extra bin. Contiguity is load-bearing, not cosmetic: the global
+// load-weighted repair sample (OnlineAllocator::repairMove) walks shard
+// mass totals as prefix sums and then descends one shard-local Fenwick,
+// which reproduces the single global Fenwick's upperBound() bin-for-bin
+// only because the concatenation of the per-shard index ranges IS the
+// global bin order. A hashed ownership map would break that byte-identity.
+//
+// The shard count is clamped to [1, bins] so every shard owns at least one
+// bin (the merged min/max/level views assume non-empty per-shard
+// histograms).
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace rlslb::serve {
+
+class BinPartition {
+ public:
+  BinPartition() = default;
+  BinPartition(std::int64_t bins, int shards)
+      : bins_(bins),
+        shards_(shards < 1 ? 1
+                           : (static_cast<std::int64_t>(shards) > bins
+                                  ? static_cast<int>(bins)
+                                  : shards)),
+        base_(bins_ / shards_),
+        extra_(bins_ % shards_) {
+    RLSLB_ASSERT_MSG(bins >= 1, "BinPartition needs at least one bin");
+  }
+
+  [[nodiscard]] int numShards() const { return shards_; }
+  [[nodiscard]] std::int64_t numBins() const { return bins_; }
+
+  /// Owner shard of `bin`; O(1).
+  [[nodiscard]] int ownerOf(std::int64_t bin) const {
+    const std::int64_t wide = extra_ * (base_ + 1);  // bins held by fat shards
+    if (bin < wide) return static_cast<int>(bin / (base_ + 1));
+    return static_cast<int>(extra_ + (bin - wide) / base_);
+  }
+
+  /// First bin of `shard`'s contiguous range.
+  [[nodiscard]] std::int64_t beginBin(int shard) const {
+    const auto s = static_cast<std::int64_t>(shard);
+    return s < extra_ ? s * (base_ + 1) : extra_ * (base_ + 1) + (s - extra_) * base_;
+  }
+
+  /// One past the last bin of `shard`'s range.
+  [[nodiscard]] std::int64_t endBin(int shard) const {
+    return beginBin(shard) + base_ + (shard < extra_ ? 1 : 0);
+  }
+
+ private:
+  std::int64_t bins_ = 1;
+  int shards_ = 1;
+  std::int64_t base_ = 1;   // bins / shards
+  std::int64_t extra_ = 0;  // bins % shards: the first `extra_` shards are fat
+};
+
+}  // namespace rlslb::serve

@@ -221,6 +221,52 @@ TEST(ServeScenarios, ByteIdenticalAcrossRunsThreadsAndShards) {
   }
 }
 
+TEST(ServeScenarios, PartitionedKnobPreservesTheDeterministicRecords) {
+  // partitioned= flips the apply execution strategy only; the scenario's
+  // deterministic records must not move. threads=3 gives the auto and
+  // forced-partitioned paths real workers.
+  const std::vector<std::string> base = {"n=32", "events=20000", "epoch=256"};
+  const auto with = [&](const std::string& mode) {
+    std::vector<std::string> params = base;
+    params.push_back("partitioned=" + mode);
+    return deterministicRecords(runServeScenario("serve_poisson", 5, 3, params));
+  };
+  const std::string sequential = with("0");
+  EXPECT_FALSE(sequential.empty());
+  // scenario_start embeds the overrides, so compare the tables only.
+  const auto tables = [](const std::string& records) {
+    std::istringstream in(records);
+    std::string line;
+    std::string out;
+    while (std::getline(in, line)) {
+      if (line.find("\"type\":\"table\"") != std::string::npos) out += line + "\n";
+    }
+    return out;
+  };
+  EXPECT_EQ(tables(sequential), tables(with("1")));
+  EXPECT_EQ(tables(sequential), tables(with("auto")));
+  EXPECT_EQ(tables(sequential), tables(with("seq")));
+  EXPECT_EQ(tables(sequential), tables(with("part")));
+}
+
+TEST(ServeScenarios, ScalingSweepEmitsPerRowThroughput) {
+  const std::string jsonl = runServeScenario(
+      "serve_scaling", 4, 1,
+      {"n=16", "events=4000", "epoch=128", "thread_list=1", "shard_list=1,2"});
+  std::vector<std::string> names;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    const report::Json rec = report::Json::parse(line);
+    if (rec.at("type").asString() != "throughput") continue;
+    names.push_back(rec.at("scenario").asString());
+    EXPECT_EQ(rec.at("events").asInt(), 4000);
+    EXPECT_GT(rec.at("events_per_sec").asDouble(), 0.0);
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"serve_scaling/s1t1", "serve_scaling/s2t1"}));
+}
+
 TEST(ServeScenarios, ThroughputRecordEmitted) {
   const std::string jsonl =
       runServeScenario("serve_bursty", 3, 1, {"n=16", "events=4000"});

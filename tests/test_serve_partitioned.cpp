@@ -1,0 +1,609 @@
+// The partitioned-apply differential layer: the production event loop in
+// ApplyMode::kPartitioned must be byte-identical — final load vector, every
+// semantic counter, and the per-epoch gap trajectory — to the frozen
+// pre-partitioning reference loop (tests/serve_reference.hpp) across shard
+// counts, thread counts, epoch granularities, trace kinds, and seeds. Plus
+// the CrossShardQueues drain-contract property tests, LoopOptions
+// validation death tests, the EpochStats/RunResult timing contract, and a
+// high-contention stress case sized for the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256pp.hpp"
+#include "runner/thread_pool.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/migration_queue.hpp"
+#include "serve/online_allocator.hpp"
+#include "serve_reference.hpp"
+#include "workload/generators.hpp"
+
+namespace rlslb::serve {
+namespace {
+
+enum class TraceKind { kPoisson, kBursty, kDiurnal, kAdversarial };
+constexpr TraceKind kAllKinds[] = {TraceKind::kPoisson, TraceKind::kBursty,
+                                   TraceKind::kDiurnal, TraceKind::kAdversarial};
+
+std::unique_ptr<workload::TraceGenerator> makeTrace(TraceKind kind, std::int64_t bins,
+                                                    std::int64_t events,
+                                                    std::uint64_t seed) {
+  workload::OpenTraceOptions base;
+  base.bins = bins;
+  base.arrivalRatePerBin = 1.0;
+  base.departureRate = 0.25;
+  base.resampleRate = 1.0;
+  base.maxEvents = events;
+  switch (kind) {
+    case TraceKind::kPoisson:
+      return std::make_unique<workload::PoissonTrace>(base, seed);
+    case TraceKind::kBursty:
+      return std::make_unique<workload::BurstyTrace>(
+          workload::BurstyTraceOptions{.base = base}, seed);
+    case TraceKind::kDiurnal:
+      return std::make_unique<workload::DiurnalTrace>(
+          workload::DiurnalTraceOptions{.base = base}, seed);
+    case TraceKind::kAdversarial:
+      return std::make_unique<workload::HotspotTrace>(
+          workload::HotspotTraceOptions{.base = base}, seed);
+  }
+  return nullptr;
+}
+
+/// Everything the differential compares: the semantic outcome of a run.
+struct Outcome {
+  std::vector<std::int64_t> loads;
+  ServeCounters counters;
+  std::int64_t liveBalls = 0;
+  std::int64_t totalLoad = 0;
+  std::vector<std::int64_t> gapTrajectory;
+};
+
+bool countersEqual(const ServeCounters& a, const ServeCounters& b) {
+  return a.events == b.events && a.arrivals == b.arrivals &&
+         a.departures == b.departures && a.resamples == b.resamples &&
+         a.migrations == b.migrations && a.rejectedMoves == b.rejectedMoves &&
+         a.repairAttempts == b.repairAttempts &&
+         a.repairMigrations == b.repairMigrations;
+}
+
+struct Config {
+  TraceKind kind = TraceKind::kPoisson;
+  std::int64_t bins = 24;
+  std::int64_t events = 2048;
+  std::int64_t epochEvents = 256;
+  std::uint64_t seed = 1;
+};
+
+Outcome runReference(const Config& c) {
+  auto trace = makeTrace(c.kind, c.bins, c.events, c.seed);
+  reference::ReferenceAllocator allocator(
+      AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(1);
+  reference::ReferenceEventLoop loop(
+      allocator,
+      reference::ReferenceEventLoop::Options{
+          .shards = 4, .epochEvents = c.epochEvents, .repairMovesPerEpoch = 4,
+          .seed = c.seed},
+      pool);
+  Outcome out;
+  const auto result =
+      loop.run(*trace, [&](const reference::ReferenceEpochStats& s) {
+        out.gapTrajectory.push_back(s.gap());
+      });
+  EXPECT_EQ(result.events, c.events);
+  out.loads = allocator.loads();
+  out.counters = allocator.counters();
+  out.liveBalls = allocator.liveBalls();
+  out.totalLoad = allocator.totalLoad();
+  return out;
+}
+
+Outcome runPartitioned(const Config& c, int shards, int threads) {
+  auto trace = makeTrace(c.kind, c.bins, c.events, c.seed);
+  OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(threads);
+  LoopOptions options;
+  options.shards = shards;
+  options.epochEvents = c.epochEvents;
+  options.repairMovesPerEpoch = 4;
+  options.seed = c.seed;
+  options.applyMode = ApplyMode::kPartitioned;
+  ShardedEventLoop loop(allocator, options, pool);
+  Outcome out;
+  const auto result = loop.run(*trace, [&](const EpochStats& s) {
+    out.gapTrajectory.push_back(s.gap());
+  });
+  EXPECT_EQ(result.events, c.events);
+  EXPECT_TRUE(allocator.validate());
+  out.loads = allocator.loads();
+  out.counters = allocator.counters();
+  out.liveBalls = allocator.liveBalls();
+  out.totalLoad = allocator.totalLoad();
+  return out;
+}
+
+void expectIdentical(const Outcome& ref, const Outcome& got, const char* axis,
+                     std::int64_t a, std::int64_t b) {
+  EXPECT_EQ(ref.loads, got.loads) << axis << "=(" << a << "," << b << ")";
+  EXPECT_TRUE(countersEqual(ref.counters, got.counters))
+      << axis << "=(" << a << "," << b << ")";
+  EXPECT_EQ(ref.liveBalls, got.liveBalls) << axis << "=(" << a << "," << b << ")";
+  EXPECT_EQ(ref.totalLoad, got.totalLoad) << axis << "=(" << a << "," << b << ")";
+  EXPECT_EQ(ref.gapTrajectory, got.gapTrajectory)
+      << axis << "=(" << a << "," << b << ")";
+}
+
+// ------------------------------------------------ differential matrix
+
+TEST(PartitionedDifferential, ShardAndThreadMatrix) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Config c;
+    c.seed = seed;
+    const Outcome ref = runReference(c);
+    for (const int shards : {1, 2, 3, 8, 16}) {
+      for (const int threads : {1, 2, 4}) {
+        expectIdentical(ref, runPartitioned(c, shards, threads), "shards,threads",
+                        shards, threads);
+      }
+    }
+  }
+}
+
+TEST(PartitionedDifferential, EpochGranularities) {
+  // epochEvents is a semantic knob, so each granularity gets its own
+  // reference; the partitioned loop must track every one, including the
+  // degenerate one-event epoch (every event sees a fresh snapshot) and an
+  // epoch larger than the whole trace.
+  const struct {
+    std::int64_t epochEvents;
+    std::int64_t events;
+  } grid[] = {{1, 300}, {7, 700}, {1024, 2048}};
+  for (const TraceKind kind : {TraceKind::kPoisson, TraceKind::kAdversarial}) {
+    for (const auto& g : grid) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Config c;
+        c.kind = kind;
+        c.epochEvents = g.epochEvents;
+        c.events = g.events;
+        c.seed = seed;
+        const Outcome ref = runReference(c);
+        expectIdentical(ref, runPartitioned(c, 2, 2), "epoch,shards", g.epochEvents, 2);
+        expectIdentical(ref, runPartitioned(c, 16, 4), "epoch,shards", g.epochEvents,
+                        16);
+      }
+    }
+  }
+}
+
+TEST(PartitionedDifferential, AllTraceKinds) {
+  for (const TraceKind kind : kAllKinds) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      Config c;
+      c.kind = kind;
+      c.events = 1500;
+      c.epochEvents = 128;
+      c.seed = seed;
+      const Outcome ref = runReference(c);
+      expectIdentical(ref, runPartitioned(c, 3, 2), "kind,shards",
+                      static_cast<std::int64_t>(kind), 3);
+      expectIdentical(ref, runPartitioned(c, 8, 4), "kind,shards",
+                      static_cast<std::int64_t>(kind), 8);
+    }
+  }
+}
+
+TEST(PartitionedDifferential, ShardCountClampsToBins) {
+  // More shards than bins: ownership clamps to one bin per shard and the
+  // loop reports the clamped count, still byte-identical to the reference.
+  Config c;
+  c.bins = 4;
+  c.events = 600;
+  c.epochEvents = 64;
+  const Outcome ref = runReference(c);
+
+  auto trace = makeTrace(c.kind, c.bins, c.events, c.seed);
+  OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(2);
+  LoopOptions options;
+  options.shards = 16;
+  options.epochEvents = c.epochEvents;
+  options.seed = c.seed;
+  options.applyMode = ApplyMode::kPartitioned;
+  ShardedEventLoop loop(allocator, options, pool);
+  Outcome got;
+  loop.run(*trace, [&](const EpochStats& s) {
+    EXPECT_EQ(s.applyShards, 4);
+    got.gapTrajectory.push_back(s.gap());
+  });
+  got.loads = allocator.loads();
+  got.counters = allocator.counters();
+  got.liveBalls = allocator.liveBalls();
+  got.totalLoad = allocator.totalLoad();
+  expectIdentical(ref, got, "clamped shards", 16, 4);
+}
+
+TEST(PartitionedDifferential, QueueStatsAccountForEveryStructuralOp) {
+  // Each arrival and departure queues one op; each accepted resample
+  // queues two (Remove + Place); rejections and repair moves queue none.
+  Config c;
+  c.events = 4096;
+  c.epochEvents = 512;
+  auto trace = makeTrace(c.kind, c.bins, c.events, c.seed);
+  OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(2);
+  LoopOptions options;
+  options.shards = 8;
+  options.epochEvents = c.epochEvents;
+  options.seed = c.seed;
+  options.applyMode = ApplyMode::kPartitioned;
+  ShardedEventLoop loop(allocator, options, pool);
+  std::int64_t queuedSum = 0;
+  std::int64_t crossSum = 0;
+  const auto result = loop.run(*trace, [&](const EpochStats& s) {
+    EXPECT_LE(s.crossShardOps, s.queuedOps);
+    EXPECT_LE(s.queuePeak, s.queuedOps);
+    queuedSum += s.queuedOps;
+    crossSum += s.crossShardOps;
+  });
+  const ServeCounters& k = allocator.counters();
+  EXPECT_EQ(result.queuedOps, queuedSum);
+  EXPECT_EQ(result.crossShardOps, crossSum);
+  EXPECT_EQ(result.queuedOps, k.arrivals + k.departures + 2 * k.migrations);
+  EXPECT_GT(result.crossShardOps, 0) << "an 8-shard run must cross boundaries";
+}
+
+TEST(PartitionedDifferential, MidStreamRepartitionPreservesState) {
+  Config c;
+  const Outcome before = runReference(c);
+  auto trace = makeTrace(c.kind, c.bins, c.events, c.seed);
+  OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(1);
+  LoopOptions options;
+  options.epochEvents = c.epochEvents;
+  options.seed = c.seed;
+  options.applyMode = ApplyMode::kSequential;
+  ShardedEventLoop loop(allocator, options, pool);
+  loop.run(*trace);
+  EXPECT_EQ(allocator.loads(), before.loads);
+
+  // Re-splitting live state is an execution-layout change only.
+  for (const int shards : {5, 16, 2, 1}) {
+    allocator.configurePartitions(shards, /*enableRouter=*/true);
+    EXPECT_TRUE(allocator.validate()) << "shards=" << shards;
+    EXPECT_EQ(allocator.loads(), before.loads) << "shards=" << shards;
+    EXPECT_EQ(allocator.liveBalls(), before.liveBalls) << "shards=" << shards;
+    EXPECT_EQ(allocator.totalLoad(), before.totalLoad) << "shards=" << shards;
+  }
+  allocator.configurePartitions(1, /*enableRouter=*/false);
+  EXPECT_TRUE(allocator.validate());
+  EXPECT_EQ(allocator.loads(), before.loads);
+}
+
+// ------------------------------------------------ apply-mode resolution
+
+TEST(ApplyModeResolution, AutoNeedsWorkersAndShards) {
+  OnlineAllocator allocator(AllocatorOptions{.bins = 16, .arrivalChoices = 2});
+  runner::ThreadPool serial(1);
+  runner::ThreadPool parallel(2);
+  const auto uses = [&](int shards, ApplyMode mode, runner::ThreadPool& pool) {
+    LoopOptions o;
+    o.shards = shards;
+    o.applyMode = mode;
+    return ShardedEventLoop(allocator, o, pool).usesPartitionedApply();
+  };
+  EXPECT_FALSE(uses(8, ApplyMode::kAuto, serial));
+  EXPECT_FALSE(uses(1, ApplyMode::kAuto, parallel));
+  EXPECT_TRUE(uses(8, ApplyMode::kAuto, parallel));
+  EXPECT_FALSE(uses(8, ApplyMode::kSequential, parallel));
+  EXPECT_TRUE(uses(8, ApplyMode::kPartitioned, serial));
+}
+
+// ------------------------------------------------ queue property tests
+
+TEST(CrossShardQueues, ConservationEveryOpDrainedExactlyOnce) {
+  constexpr int kShards = 4;
+  constexpr int kOps = 500;
+  CrossShardQueues queues(kShards);
+  rng::Xoshiro256pp eng(42);
+  std::vector<std::vector<BinOp>> expected(kShards);  // per owner, push order
+  for (std::int64_t ordinal = 0; ordinal < kOps; ++ordinal) {
+    const int from = static_cast<int>(rng::uniformIndex(eng, kShards));
+    const int to = static_cast<int>(rng::uniformIndex(eng, kShards));
+    const BinOp op{ordinal, /*ball=*/ordinal,
+                   /*weight=*/1 + static_cast<std::int64_t>(rng::uniformIndex(eng, 3)),
+                   /*bin=*/static_cast<std::int32_t>(rng::uniformIndex(eng, 24)),
+                   ordinal % 2 == 0 ? BinOp::Kind::kPlace : BinOp::Kind::kRemove};
+    queues.push(from, to, op);
+    expected[static_cast<std::size_t>(to)].push_back(op);
+  }
+  EXPECT_EQ(queues.totalPending(), kOps);
+  std::int64_t drained = 0;
+  for (int to = 0; to < kShards; ++to) {
+    std::vector<BinOp> got;
+    queues.drainTo(to, [&](const BinOp& op) { got.push_back(op); });
+    // Unique ascending ordinals here, so canonical order == push order.
+    EXPECT_EQ(got, expected[static_cast<std::size_t>(to)]) << "owner " << to;
+    EXPECT_EQ(static_cast<std::int64_t>(got.size()), queues.pendingFor(to));
+    drained += static_cast<std::int64_t>(got.size());
+  }
+  EXPECT_EQ(drained, kOps);
+}
+
+TEST(CrossShardQueues, DrainOrderIndependentOfSourceInterleaving) {
+  // The same per-(from, to) queue contents pushed under three different
+  // global interleavings (source-major, reverse source-major, round-robin)
+  // must drain in the same canonical sequence: the merge depends on queue
+  // contents only, never on completion order — the determinism anchor of
+  // the parallel apply phase.
+  constexpr int kShards = 3;
+  std::vector<std::vector<BinOp>> perSource(kShards);  // ops from shard f -> owner 1
+  for (int from = 0; from < kShards; ++from) {
+    for (std::int64_t i = 0; i < 40; ++i) {
+      perSource[static_cast<std::size_t>(from)].push_back(
+          BinOp{/*ordinal=*/from + 3 * i, /*ball=*/from * 1000 + i, /*weight=*/1,
+                /*bin=*/static_cast<std::int32_t>(from), BinOp::Kind::kPlace});
+    }
+  }
+  const auto drainUnder = [&](const std::vector<std::pair<int, std::size_t>>& order) {
+    CrossShardQueues queues(kShards);
+    for (const auto& [from, index] : order) {
+      queues.push(from, 1, perSource[static_cast<std::size_t>(from)][index]);
+    }
+    std::vector<BinOp> got;
+    queues.drainTo(1, [&](const BinOp& op) { got.push_back(op); });
+    return got;
+  };
+  std::vector<std::pair<int, std::size_t>> sourceMajor;
+  std::vector<std::pair<int, std::size_t>> reverseMajor;
+  std::vector<std::pair<int, std::size_t>> roundRobin;
+  for (int from = 0; from < kShards; ++from) {
+    for (std::size_t i = 0; i < 40; ++i) sourceMajor.emplace_back(from, i);
+  }
+  for (int from = kShards - 1; from >= 0; --from) {
+    for (std::size_t i = 0; i < 40; ++i) reverseMajor.emplace_back(from, i);
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (int from = 0; from < kShards; ++from) roundRobin.emplace_back(from, i);
+  }
+  const std::vector<BinOp> a = drainUnder(sourceMajor);
+  const std::vector<BinOp> b = drainUnder(reverseMajor);
+  const std::vector<BinOp> c = drainUnder(roundRobin);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LT(a[i - 1].ordinal, a[i].ordinal);  // unique ordinals: strictly ascending
+  }
+}
+
+TEST(CrossShardQueues, EqualOrdinalsDrainInSourceOrder) {
+  CrossShardQueues queues(4);
+  // One event can emit ops from a single source only, but the contract is
+  // broader: equal ordinals break ties by ascending source shard.
+  for (const int from : {3, 1, 2, 0}) {
+    queues.push(from, 2,
+                BinOp{/*ordinal=*/5, /*ball=*/from, /*weight=*/1, /*bin=*/6,
+                      BinOp::Kind::kPlace});
+  }
+  std::vector<std::int64_t> balls;
+  queues.drainTo(2, [&](const BinOp& op) { balls.push_back(op.ball); });
+  EXPECT_EQ(balls, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(CrossShardQueues, EmptyDrainVisitsNothing) {
+  CrossShardQueues queues(3);
+  EXPECT_TRUE(queues.empty());
+  for (int to = 0; to < 3; ++to) {
+    queues.drainTo(to, [&](const BinOp&) { FAIL() << "visitor on empty queues"; });
+    EXPECT_EQ(queues.pendingFor(to), 0);
+  }
+  EXPECT_EQ(queues.totalPending(), 0);
+  EXPECT_EQ(queues.crossPending(), 0);
+  EXPECT_EQ(queues.peakDepth(), 0);
+}
+
+TEST(CrossShardQueues, GrowthPastAnyReserveAndReuseAfterClear) {
+  constexpr std::int64_t kDeep = 5000;
+  CrossShardQueues queues(2);
+  for (std::int64_t i = 0; i < kDeep; ++i) {
+    queues.push(0, 1, BinOp{i, i, 1, 0, BinOp::Kind::kPlace});
+  }
+  EXPECT_EQ(queues.peakDepth(), kDeep);
+  EXPECT_EQ(queues.crossPending(), kDeep);
+  std::int64_t seen = 0;
+  queues.drainTo(1, [&](const BinOp&) { ++seen; });
+  EXPECT_EQ(seen, kDeep);
+
+  queues.clear();
+  EXPECT_TRUE(queues.empty());
+  EXPECT_EQ(queues.peakDepth(), 0);
+  queues.push(1, 0, BinOp{0, 7, 1, 0, BinOp::Kind::kRemove});
+  std::int64_t reuse = 0;
+  queues.drainTo(0, [&](const BinOp& op) {
+    ++reuse;
+    EXPECT_EQ(op.ball, 7);
+  });
+  EXPECT_EQ(reuse, 1);
+
+  queues.reset(5);
+  EXPECT_EQ(queues.shards(), 5);
+  EXPECT_TRUE(queues.empty());
+}
+
+// ------------------------------------------------ option validation
+
+TEST(ServePartitionedDeathTest, RejectsInvalidLoopOptions) {
+  OnlineAllocator allocator(AllocatorOptions{.bins = 8, .arrivalChoices = 1});
+  runner::ThreadPool pool(1);
+  const auto makeLoop = [&](int shards, std::int64_t epochEvents, int repair) {
+    LoopOptions o;
+    o.shards = shards;
+    o.epochEvents = epochEvents;
+    o.repairMovesPerEpoch = repair;
+    ShardedEventLoop loop(allocator, o, pool);
+  };
+  EXPECT_DEATH(makeLoop(0, 1024, 4), "LoopOptions.shards must be >= 1");
+  EXPECT_DEATH(makeLoop(-3, 1024, 4), "LoopOptions.shards must be >= 1");
+  EXPECT_DEATH(makeLoop(8, 0, 4), "LoopOptions.epochEvents must be >= 1");
+  EXPECT_DEATH(makeLoop(8, -1, 4), "LoopOptions.epochEvents must be >= 1");
+  EXPECT_DEATH(makeLoop(8, 1024, -1), "LoopOptions.repairMovesPerEpoch must be >= 0");
+}
+
+TEST(ServePartitionedDeathTest, QueuesRejectZeroShardsAndDescendingOrdinals) {
+  EXPECT_DEATH(CrossShardQueues queues(0), "at least one shard");
+  CrossShardQueues queues(2);
+  queues.push(0, 1, BinOp{5, 1, 1, 0, BinOp::Kind::kPlace});
+  EXPECT_DEATH(queues.push(0, 1, BinOp{4, 2, 1, 0, BinOp::Kind::kPlace}),
+               "ordinal-ascending");
+}
+
+// ------------------------------------------------ timing contract
+
+TEST(TimingContract, RunResultIsTheExactSumOfEpochWallSeconds) {
+  Config c;
+  c.events = 2048;
+  c.epochEvents = 128;
+  auto trace = makeTrace(c.kind, c.bins, c.events, c.seed);
+  OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(2);
+  LoopOptions options;
+  options.epochEvents = c.epochEvents;
+  options.seed = c.seed;
+  options.applyMode = ApplyMode::kPartitioned;
+  ShardedEventLoop loop(allocator, options, pool);
+  double sum = 0.0;
+  std::int64_t epochs = 0;
+  const auto result = loop.run(*trace, [&](const EpochStats& s) {
+    EXPECT_GE(s.wallSeconds, 0.0);
+    sum += s.wallSeconds;
+    ++epochs;
+  });
+  EXPECT_EQ(epochs, result.epochs);
+  // Exact: both sides accumulate the identical per-epoch doubles in the
+  // identical order, so this is bitwise equality, not a tolerance check.
+  EXPECT_EQ(sum, result.wallSeconds);
+}
+
+TEST(TimingContract, OnEpochCallbackTimeIsExcluded) {
+  Config c;
+  c.events = 256;
+  c.epochEvents = 64;
+  auto trace = makeTrace(c.kind, c.bins, c.events, c.seed);
+  OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(1);
+  LoopOptions options;
+  options.epochEvents = c.epochEvents;
+  options.seed = c.seed;
+  ShardedEventLoop loop(allocator, options, pool);
+  const auto result = loop.run(*trace, [&](const EpochStats&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  EXPECT_EQ(result.epochs, 4);
+  // 4 x 10ms of callback sleep; the measured epochs do ~256 events of real
+  // work (microseconds). Half the sleep budget is an ocean of margin.
+  EXPECT_LT(result.wallSeconds, 0.020);
+}
+
+/// Wraps a trace and sleeps inside next(): trace *generation* cost, which
+/// the timing contract says is not the serving loop's to report.
+class SlowTrace final : public workload::TraceGenerator {
+ public:
+  SlowTrace(workload::TraceGenerator& inner, std::chrono::microseconds delay)
+      : inner_(&inner), delay_(delay) {}
+  bool next(workload::Event* out) override {
+    if (!inner_->next(out)) return false;
+    std::this_thread::sleep_for(delay_);
+    return true;
+  }
+  [[nodiscard]] std::string name() const override { return "slow"; }
+
+ private:
+  workload::TraceGenerator* inner_;
+  std::chrono::microseconds delay_;
+};
+
+TEST(TimingContract, TraceGenerationTimeIsExcluded) {
+  Config c;
+  c.events = 64;
+  c.epochEvents = 16;
+  auto inner = makeTrace(c.kind, c.bins, c.events, c.seed);
+  SlowTrace trace(*inner, std::chrono::microseconds(500));
+  OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(1);
+  LoopOptions options;
+  options.epochEvents = c.epochEvents;
+  options.seed = c.seed;
+  ShardedEventLoop loop(allocator, options, pool);
+  const auto result = loop.run(trace);
+  EXPECT_EQ(result.events, 64);
+  // 64 x 0.5ms = 32ms of generation sleep; the 4 epochs of real work are
+  // microseconds.
+  EXPECT_LT(result.wallSeconds, 0.016);
+}
+
+// ------------------------------------------------ TSan-sized stress
+
+TEST(PartitionedStress, HighContentionLongEpochs) {
+  // Long epochs + a hot resample clock maximize queue depth and cross-
+  // shard traffic while four threads drain eight owners; the TSan CI job
+  // (-R "runner|serve|process") runs this suite under the race detector.
+  Config c;
+  c.bins = 64;
+  c.events = 3 * 8192;
+  c.epochEvents = 8192;
+  c.seed = 2017;
+  workload::OpenTraceOptions base;
+  base.bins = c.bins;
+  base.arrivalRatePerBin = 2.0;
+  base.departureRate = 0.25;
+  base.resampleRate = 4.0;  // high contention: most events are migrations
+  base.maxEvents = c.events;
+
+  Outcome ref;
+  {
+    workload::PoissonTrace trace(base, c.seed);
+    reference::ReferenceAllocator allocator(
+        AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+    runner::ThreadPool pool(1);
+    reference::ReferenceEventLoop loop(
+        allocator,
+        reference::ReferenceEventLoop::Options{
+            .shards = 4, .epochEvents = c.epochEvents, .repairMovesPerEpoch = 4,
+            .seed = c.seed},
+        pool);
+    loop.run(trace, [&](const reference::ReferenceEpochStats& s) {
+      ref.gapTrajectory.push_back(s.gap());
+    });
+    ref.loads = allocator.loads();
+    ref.counters = allocator.counters();
+    ref.liveBalls = allocator.liveBalls();
+    ref.totalLoad = allocator.totalLoad();
+  }
+  {
+    workload::PoissonTrace trace(base, c.seed);
+    OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+    runner::ThreadPool pool(4);
+    LoopOptions options;
+    options.shards = 8;
+    options.epochEvents = c.epochEvents;
+    options.seed = c.seed;
+    options.applyMode = ApplyMode::kPartitioned;
+    ShardedEventLoop loop(allocator, options, pool);
+    Outcome got;
+    loop.run(trace, [&](const EpochStats& s) { got.gapTrajectory.push_back(s.gap()); });
+    EXPECT_TRUE(allocator.validate());
+    got.loads = allocator.loads();
+    got.counters = allocator.counters();
+    got.liveBalls = allocator.liveBalls();
+    got.totalLoad = allocator.totalLoad();
+    expectIdentical(ref, got, "stress shards,threads", 8, 4);
+  }
+}
+
+}  // namespace
+}  // namespace rlslb::serve
