@@ -85,16 +85,17 @@ void ThreadPool::parallelFor(std::int64_t count, const std::function<void(std::i
     return;
   }
 
-#ifndef NDEBUG
   // Documented non-nestable contract: a nested or concurrent parallelFor
   // on the same pool would corrupt the single job slot and deadlock
-  // silently; fail loudly in debug builds instead.
+  // silently. RLSLB_ASSERT is active in every build type, so the guard must
+  // not hide behind NDEBUG: a Release build deadlocking where a Debug build
+  // aborts is the worst possible split. One uncontended atomic exchange per
+  // *job* (not per index) is noise next to the dispatch handshake.
   RLSLB_ASSERT_MSG(!jobInFlight_.exchange(true, std::memory_order_acq_rel),
                    "ThreadPool::parallelFor is not reentrant: a body called back into "
                    "parallelFor on the same pool (or a second thread dispatched "
                    "concurrently). Use a separate pool, or restructure to a single "
                    "flat parallelFor (see runner/thread_pool.hpp).");
-#endif
 
   // Aim for ~8 chunks per thread so the dynamic distribution absorbs
   // replication-cost skew without contending on next_ per index.
@@ -123,9 +124,7 @@ void ThreadPool::parallelFor(std::int64_t count, const std::function<void(std::i
 
   body_ = nullptr;
   token_ = nullptr;
-#ifndef NDEBUG
   jobInFlight_.store(false, std::memory_order_release);
-#endif
   if (error_) {
     std::exception_ptr error = error_;
     error_ = nullptr;  // leave the pool reusable after a throw

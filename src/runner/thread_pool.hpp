@@ -67,8 +67,10 @@ class ThreadPool {
   /// NOT reentrant and NOT concurrently callable: the pool has a single
   /// job slot, so a body that calls back into parallelFor on the same pool
   /// (nested parallelism), or a second thread dispatching while a job is
-  /// in flight, would corrupt the slot and deadlock. Debug builds detect
-  /// both and abort with a diagnostic instead (see the ROADMAP note: a
+  /// in flight, would corrupt the slot and deadlock. Every build type
+  /// detects both and aborts with a diagnostic instead — RLSLB_ASSERT does
+  /// not compile away in Release, so a misuse that would deadlock a
+  /// production binary fails loudly there too (see the ROADMAP note: a
   /// workload that wants nested parallelism needs a work-stealing or
   /// task-graph layer, not nested pools). The inline serial path of a
   /// 1-thread pool has no job slot and therefore no such hazard; it is
@@ -93,9 +95,7 @@ class ThreadPool {
   CancellationToken* token_ = nullptr;
   std::atomic<std::int64_t> next_{0};
   std::atomic<bool> abort_{false};
-#ifndef NDEBUG
   std::atomic<bool> jobInFlight_{false};  // reentrancy/concurrent-call detector
-#endif
   std::exception_ptr error_;
   std::mutex errorMutex_;
 

@@ -42,6 +42,11 @@ bool ShardedEventLoop::usesPartitionedApply() const {
 
 ShardedEventLoop::RunResult ShardedEventLoop::run(
     workload::TraceGenerator& trace, const std::function<void(const EpochStats&)>& onEpoch) {
+  // Multi-run contract: each run() is self-contained. A reused loop must
+  // draw the same decision/repair streams a fresh loop would on the same
+  // trace (allocator state, by design, carries over).
+  nextOrdinal_ = 0;
+  nextEpoch_ = 0;
   const std::uint64_t decisionSeed = rng::streamSeed(options_.seed, kDecisionSalt);
   const std::uint64_t repairSeed = rng::streamSeed(options_.seed, kRepairSalt);
   const auto shards = static_cast<std::size_t>(options_.shards);
@@ -53,12 +58,45 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
                   : allocator_->configurePartitions(1, /*enableRouter=*/false);
   if (partitioned) queues_.reset(applyShards);
 
+  // Decisions only fan out when the pool can actually run shards
+  // concurrently; otherwise the hash-bucketing indirection is pure
+  // overhead on the hot loop. Either path draws the identical per-event
+  // stream streamSeed(decisionSeed, ordinal).
+  const bool fanOutDecisions = pool_->size() > 1 && options_.shards > 1;
+
   RunResult result;
+  // Epoch-scoped storage is reused across epochs: after the first epoch a
+  // steady-state epoch performs no heap allocation (pinned by
+  // tests/test_serve_hotpath.cpp). `decisions` grows but never zero-fills
+  // per epoch; depart slots are simply never read.
   std::vector<workload::Event> batch;
   std::vector<Decision> decisions;
   std::vector<std::vector<std::size_t>> shardEvents(shards);  // batch indices
-  std::vector<std::int64_t> snapshot;
   batch.reserve(static_cast<std::size_t>(options_.epochEvents));
+  // The decision phase reads the live load array: every write to it
+  // happens in the apply/repair phases, strictly after the decision
+  // barrier, so the bytes it sees are exactly the epoch-start snapshot the
+  // loop used to copy.
+  const std::vector<std::int64_t>& liveLoads = allocator_->loads();
+
+  // Both parallelFor closures are built ONCE and reused every epoch: a
+  // std::function re-wrapped per epoch heap-allocates when the capture
+  // list outgrows the small-object buffer, which would break the
+  // steady-state zero-allocation contract. Per-epoch state flows through
+  // `batch`/`decisions`/`baseOrdinal`, captured by reference.
+  std::int64_t baseOrdinal = 0;
+  const std::function<void(std::int64_t)> decideShard = [&](std::int64_t shard) {
+    rng::Xoshiro256pp eng;  // hoisted: one engine per shard, reseeded per event
+    for (const std::size_t i : shardEvents[static_cast<std::size_t>(shard)]) {
+      eng.reseed(rng::streamSeed(
+          decisionSeed,
+          static_cast<std::uint64_t>(baseOrdinal + static_cast<std::int64_t>(i))));
+      decisions[i] = allocator_->decide(batch[i], liveLoads, eng);
+    }
+  };
+  const std::function<void(std::int64_t)> drainShard = [this](std::int64_t shard) {
+    allocator_->applyShardOps(static_cast<int>(shard), queues_);
+  };
 
   for (;;) {
     batch.clear();
@@ -69,35 +107,39 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
     }
     if (batch.empty()) break;
 
-    // Timing contract: the timer brackets decision + apply + repair only
-    // (the batch fill above and the stats/callback below are outside).
+    // Timing contract: the timer brackets decision + apply + repair
+    // (including the deferred-accounting flush) only; the batch fill above
+    // and the stats/callback below are outside.
     WallTimer wall;
-    const std::int64_t baseOrdinal = nextOrdinal_;
+    baseOrdinal = nextOrdinal_;
     nextOrdinal_ += static_cast<std::int64_t>(batch.size());
 
-    // Hash-shard by ball id; the partition only distributes work, the
-    // decisions do not depend on it (per-event rng streams).
-    for (auto& list : shardEvents) list.clear();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const std::size_t shard =
-          static_cast<std::size_t>(rng::mix64(static_cast<std::uint64_t>(batch[i].ball))) %
-          shards;
-      shardEvents[shard].push_back(i);
-    }
-
-    // Decision phase against the epoch-start snapshot, one slot per event.
-    snapshot = allocator_->loads();
-    decisions.assign(batch.size(), Decision{});
-    pool_->parallelFor(static_cast<std::int64_t>(shards), [&](std::int64_t shard) {
-      for (const std::size_t i : shardEvents[static_cast<std::size_t>(shard)]) {
+    if (decisions.size() < batch.size()) decisions.resize(batch.size());
+    if (fanOutDecisions) {
+      // Hash-shard by ball id; the partition only distributes work, the
+      // decisions do not depend on it (per-event rng streams). Departs use
+      // no randomness, so they never enter a bucket at all.
+      for (auto& list : shardEvents) list.clear();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].kind == workload::EventKind::kDepart) continue;
+        const std::size_t shard =
+            static_cast<std::size_t>(
+                rng::mix64(static_cast<std::uint64_t>(batch[i].ball))) %
+            shards;
+        shardEvents[shard].push_back(i);
+      }
+      pool_->parallelFor(static_cast<std::int64_t>(shards), decideShard);
+    } else {
+      rng::Xoshiro256pp eng;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
         const workload::Event& e = batch[i];
         if (e.kind == workload::EventKind::kDepart) continue;  // no randomness
-        rng::Xoshiro256pp eng(
-            rng::streamSeed(decisionSeed, static_cast<std::uint64_t>(
-                                              baseOrdinal + static_cast<std::int64_t>(i))));
-        decisions[i] = allocator_->decide(e, snapshot, eng);
+        eng.reseed(rng::streamSeed(
+            decisionSeed,
+            static_cast<std::uint64_t>(baseOrdinal + static_cast<std::int64_t>(i))));
+        decisions[i] = allocator_->decide(e, liveLoads, eng);
       }
-    });
+    }
 
     // Apply phase in trace order.
     std::int64_t queuedOps = 0;
@@ -106,33 +148,32 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
     if (partitioned) {
       // Sequential resolution (trace order, live-load re-validation)...
       queues_.clear();
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        allocator_->resolve(batch[i], decisions[i],
-                            baseOrdinal + static_cast<std::int64_t>(i), queues_);
-      }
+      allocator_->resolveBatch(batch.data(), decisions.data(), baseOrdinal,
+                               batch.size(), queues_);
       queuedOps = queues_.totalPending();
       crossShardOps = queues_.crossPending();
       queuePeak = queues_.peakDepth();
       // ... then every owner materializes its column of the queue matrix.
       if (pool_->size() > 1 && queuedOps >= kParallelDrainThreshold) {
-        pool_->parallelFor(applyShards, [&](std::int64_t shard) {
-          allocator_->applyShardOps(static_cast<int>(shard), queues_);
-        });
+        pool_->parallelFor(applyShards, drainShard);
       } else {
         for (int shard = 0; shard < applyShards; ++shard) {
           allocator_->applyShardOps(shard, queues_);
         }
       }
     } else {
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        allocator_->apply(batch[i], decisions[i]);
-      }
+      allocator_->applyBatch(batch.data(), decisions.data(), batch.size());
     }
 
     // Cross-shard repair budget (sequential; mutates arbitrary shards).
     rng::Xoshiro256pp repairEng(
         rng::streamSeed(repairSeed, static_cast<std::uint64_t>(nextEpoch_)));
     for (int k = 0; k < options_.repairMovesPerEpoch; ++k) allocator_->repairMove(repairEng);
+
+    // Settle any remaining deferred Fenwick deltas inside the
+    // timed region — the flush belongs to the epoch's apply cost, not to
+    // whichever observer happens to read a merged view first.
+    allocator_->flush();
 
     const double epochWall = wall.seconds();
     result.wallSeconds += epochWall;

@@ -3,13 +3,19 @@
 // Events are consumed in fixed-size *epochs* (bulk-synchronous style):
 //
 //   1. Fill a batch of up to epochEvents events from the trace.
-//   2. Snapshot the bin loads.
-//   3. Decision phase, parallel on runner::ThreadPool: events are
-//      hash-sharded by ball id; each shard walks its events in trace order
-//      and computes the random placement/candidate decisions against the
-//      snapshot, each event drawing from its own rng stream
-//      streamSeed(decisionSeed, eventOrdinal).
-//   4. Apply phase. Two executions of the same semantics:
+//   2. Decision phase, parallel on runner::ThreadPool: events are
+//      hash-sharded by ball id (departs use no randomness and are skipped
+//      at bucketing time); each shard walks its events in trace order and
+//      computes the random placement/candidate decisions against the
+//      *live* load array — the apply phase starts only after the decision
+//      barrier, so the bytes read are exactly the epoch-start snapshot the
+//      loop used to copy, without the O(bins) copy. Each event draws from
+//      its own rng stream streamSeed(decisionSeed, eventOrdinal) via a
+//      per-shard engine reseeded per event (byte-identical to per-event
+//      construction). With a single worker or a single shard the loop
+//      skips the bucketing and walks the batch directly — same streams,
+//      no indirection.
+//   3. Apply phase. Two executions of the same semantics:
 //        Sequential (fused): walk the batch in trace order, re-validating
 //        every decision against live loads and mutating in place.
 //        Partitioned: a sequential *resolution* sweep over the batch does
@@ -17,15 +23,20 @@
 //        array + router hash) while deferring the O(log n) structure
 //        mutations as Place/Remove ops in per-shard-pair migration queues;
 //        then every ownership shard *materializes* its queued ops in
-//        parallel — Fenwick, level histogram, ball slots — each owner
+//        parallel — loads, ball slots, ball records — each owner
 //        draining its column of the queue matrix in canonical
 //        (ordinal, source) order. Per bin the canonical order equals the
 //        trace order restricted to that bin, so both executions finish in
 //        byte-identical states (pinned by tests/test_serve_partitioned).
-//   5. Cross-shard rebalance: a fixed budget of RLS repair activations on
+//      Either way the allocator defers the O(log n) Fenwick updates per
+//      bin, reconciling net deltas once per epoch (shard-parallel on the
+//      partitioned drain) — rejected resamples, the steady-state common
+//      case, touch no structure at all.
+//   4. Cross-shard rebalance: a fixed budget of RLS repair activations on
 //      live state heals whatever imbalance the stale snapshot let through
 //      (the bulk-synchronous analogue of the paper's background RLS
-//      clocks), then the next epoch snapshots fresh loads.
+//      clocks). A final allocator flush — still inside the epoch timer —
+//      settles any deferred deltas before observers look.
 //
 // Determinism: decisions are per-event pure functions of (snapshot,
 // ordinal-derived rng), resolution order is the trace order, the per-owner
@@ -109,6 +120,10 @@ class ShardedEventLoop {
   };
 
   /// Drain the trace. `onEpoch` (may be empty) fires after each epoch.
+  /// Each run() is self-contained: event ordinals and the epoch index
+  /// reset, so a reused loop draws exactly the streams a freshly
+  /// constructed loop would on the same trace. Allocator state carries
+  /// over between runs by design (it is the long-lived allocation).
   RunResult run(workload::TraceGenerator& trace,
                 const std::function<void(const EpochStats&)>& onEpoch = {});
 
@@ -120,8 +135,8 @@ class ShardedEventLoop {
   LoopOptions options_;
   runner::ThreadPool* pool_;
   CrossShardQueues queues_;
-  std::int64_t nextOrdinal_ = 0;  // global event ordinal (decision streams)
-  std::int64_t nextEpoch_ = 0;
+  std::int64_t nextOrdinal_ = 0;  // event ordinal (decision streams); reset per run()
+  std::int64_t nextEpoch_ = 0;    // repair-stream key; reset per run()
 };
 
 }  // namespace rlslb::serve

@@ -91,8 +91,17 @@ class CrossShardQueues {
   template <class Visitor>
   void drainTo(int to, Visitor&& visit) const {
     // k-way merge over the column's S source queues; S is small, so a
-    // linear min scan beats a heap.
-    std::vector<std::size_t> cursor(static_cast<std::size_t>(shards_), 0);
+    // linear min scan beats a heap. Cursors live on the stack up to
+    // kInlineShards so a steady-state drain allocates nothing; drainTo is
+    // const and called from every owner concurrently, so the scratch
+    // cannot be a member.
+    std::size_t inlineCursor[kInlineShards] = {};
+    std::vector<std::size_t> heapCursor;
+    std::size_t* cursor = inlineCursor;
+    if (shards_ > static_cast<int>(kInlineShards)) {
+      heapCursor.assign(static_cast<std::size_t>(shards_), 0);
+      cursor = heapCursor.data();
+    }
     for (;;) {
       int best = -1;
       std::int64_t bestOrdinal = 0;
@@ -138,6 +147,10 @@ class CrossShardQueues {
   [[nodiscard]] bool empty() const { return pushed_ == 0; }
 
  private:
+  // Shard counts beyond this fall back to a heap-allocated cursor array in
+  // drainTo; real deployments sit far below it.
+  static constexpr std::size_t kInlineShards = 32;
+
   [[nodiscard]] std::vector<BinOp>& at(int from, int to) {
     return queues_[static_cast<std::size_t>(from) * static_cast<std::size_t>(shards_) +
                    static_cast<std::size_t>(to)];

@@ -16,6 +16,11 @@ OnlineAllocator::OnlineAllocator(const AllocatorOptions& options)
 }
 
 int OnlineAllocator::configurePartitions(int shards, bool enableRouter) {
+  // Reconcile deferred deltas before anything else (including the
+  // early-return): the rebuild below drops the per-shard dirty lists, and a
+  // dirtyMark_ bit without a matching list entry would make markDirty skip
+  // that bin forever.
+  flush();
   const BinPartition next(numBins(), shards);
   RLSLB_ASSERT_MSG(enableRouter || next.numShards() == 1,
                    "a multi-shard layout requires the ball router (resolve() and the "
@@ -30,8 +35,9 @@ int OnlineAllocator::configurePartitions(int shards, bool enableRouter) {
   // stream — survive any repartition.
   std::vector<std::pair<std::int64_t, BallRec>> live;
   live.reserve(static_cast<std::size_t>(liveBalls_));
-  for (Shard& shard : shards_) {
-    for (auto& entry : shard.balls) live.push_back(entry);
+  for (const Shard& shard : shards_) {
+    shard.balls.forEach(
+        [&](std::int64_t ball, const BallRec& rec) { live.emplace_back(ball, rec); });
   }
   std::vector<std::vector<std::int64_t>> allBinBalls(loads_.size());
   for (Shard& shard : shards_) {
@@ -52,8 +58,6 @@ int OnlineAllocator::configurePartitions(int shards, bool enableRouter) {
     shard.binLoad.assign(loads_.begin() + static_cast<std::ptrdiff_t>(begin),
                          loads_.begin() + static_cast<std::ptrdiff_t>(end));
     shard.mass = ds::Fenwick<std::int64_t>(shard.binLoad);
-    shard.levels.clear();
-    for (const std::int64_t load : shard.binLoad) ++shard.levels[load];
     shard.binBalls.assign(end - begin, {});
     for (std::size_t bin = begin; bin < end; ++bin) {
       shard.binBalls[bin - begin] = std::move(allBinBalls[bin]);
@@ -62,6 +66,7 @@ int OnlineAllocator::configurePartitions(int shards, bool enableRouter) {
   for (const auto& [ball, rec] : live) {
     shardOf(rec.bin).balls.emplace(ball, rec);
   }
+  dirtyMark_.assign(loads_.size(), 0);
 
   routerEnabled_ = enableRouter;
   router_.clear();
@@ -74,168 +79,188 @@ int OnlineAllocator::configurePartitions(int shards, bool enableRouter) {
   return count;
 }
 
-Decision OnlineAllocator::decide(const workload::Event& event,
-                                 const std::vector<std::int64_t>& snapshotLoads,
-                                 rng::Xoshiro256pp& eng) const {
-  const auto n = static_cast<std::uint64_t>(snapshotLoads.size());
-  Decision d;
-  switch (event.kind) {
-    case workload::EventKind::kArrive: {
-      // d-choice over the snapshot: least loaded of `arrivalChoices`
-      // uniform samples (ties keep the first draw, so the choice is a
-      // deterministic function of the rng stream).
-      auto best = static_cast<std::int32_t>(rng::uniformIndex(eng, n));
-      for (int c = 1; c < options_.arrivalChoices; ++c) {
-        const auto candidate = static_cast<std::int32_t>(rng::uniformIndex(eng, n));
-        if (snapshotLoads[static_cast<std::size_t>(candidate)] <
-            snapshotLoads[static_cast<std::size_t>(best)]) {
-          best = candidate;
-        }
-      }
-      d.bin = best;
-      break;
-    }
-    case workload::EventKind::kResample:
-      d.bin = static_cast<std::int32_t>(rng::uniformIndex(eng, n));
-      break;
-    case workload::EventKind::kDepart:
-      break;
-  }
-  return d;
+void OnlineAllocator::apply(const workload::Event& event, const Decision& decision) {
+  applyBatch(&event, &decision, 1);
 }
 
-void OnlineAllocator::apply(const workload::Event& event, const Decision& decision) {
-  ++counters_.events;
-  switch (event.kind) {
-    case workload::EventKind::kArrive: {
-      RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
-      ++counters_.arrivals;
-      placeBall(event.ball, event.weight, decision.bin);
-      break;
-    }
-    case workload::EventKind::kDepart: {
-      ++counters_.departures;
-      Shard* shard;
-      if (routerEnabled_) {
-        const auto route = router_.find(event.ball);
-        RLSLB_ASSERT_MSG(route != router_.end(), "depart event for a ball that is not live");
-        shard = &shardOf(route->second.bin);
-        router_.erase(route);
-      } else {
-        shard = &shards_[0];
+void OnlineAllocator::applyBatch(const workload::Event* events, const Decision* decisions,
+                                 std::size_t count) {
+  // The fused hot loop. Counters accumulate in locals so they live in
+  // registers across the batch instead of bouncing through memory per
+  // event; the logic per event is exactly apply()'s (which forwards here
+  // with count 1). Depart slots of `decisions` are never read.
+  std::int64_t arrivals = 0;
+  std::int64_t departures = 0;
+  std::int64_t resamples = 0;
+  std::int64_t migrations = 0;
+  std::int64_t rejected = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const workload::Event& event = events[i];
+    switch (event.kind) {
+      case workload::EventKind::kArrive: {
+        const Decision& decision = decisions[i];
+        RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
+        ++arrivals;
+        placeBall(event.ball, event.weight, decision.bin);
+        break;
       }
-      const auto it = shard->balls.find(event.ball);
-      RLSLB_ASSERT_MSG(it != shard->balls.end(), "depart event for a ball that is not live");
-      const BallRec rec = it->second;
-      shard->balls.erase(it);
-      eraseBall(*shard, event.ball, rec);
-      changeLoad(*shard, rec.bin, -rec.weight);
-      --liveBalls_;
-      break;
-    }
-    case workload::EventKind::kResample: {
-      ++counters_.resamples;
-      RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
-      Shard* shard;
-      if (routerEnabled_) {
-        const auto route = router_.find(event.ball);
-        RLSLB_ASSERT_MSG(route != router_.end(),
-                         "resample event for a ball that is not live");
-        shard = &shardOf(route->second.bin);
-      } else {
-        shard = &shards_[0];
+      case workload::EventKind::kDepart: {
+        ++departures;
+        Shard* shard;
+        if (routerEnabled_) {
+          RouteRec* route = router_.find(event.ball);
+          RLSLB_ASSERT_MSG(route != nullptr, "depart event for a ball that is not live");
+          shard = &shardOf(route->bin);
+          router_.erase(route);
+        } else {
+          shard = &shards_[0];
+        }
+        BallRec* it = shard->balls.find(event.ball);
+        RLSLB_ASSERT_MSG(it != nullptr, "depart event for a ball that is not live");
+        const BallRec rec = *it;
+        shard->balls.erase(it);
+        eraseBall(*shard, event.ball, rec);
+        changeLoad(*shard, rec.bin, -rec.weight);
+        --liveBalls_;
+        break;
       }
-      const auto it = shard->balls.find(event.ball);
-      RLSLB_ASSERT_MSG(it != shard->balls.end(),
-                       "resample event for a ball that is not live");
-      const std::int32_t src = it->second.bin;
-      const std::int32_t dst = decision.bin;
-      // Strict local-search rule on *live* loads: the sampled candidate
-      // came from the epoch snapshot stream, but the acceptance must never
-      // worsen balance, so it is re-checked here.
-      if (dst != src && loads_[static_cast<std::size_t>(dst)] + it->second.weight <
-                            loads_[static_cast<std::size_t>(src)]) {
-        ++counters_.migrations;
-        moveBall(event.ball, *shard, it, dst);
-      } else {
-        ++counters_.rejectedMoves;
+      case workload::EventKind::kResample: {
+        const Decision& decision = decisions[i];
+        ++resamples;
+        RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
+        Shard* shard;
+        if (routerEnabled_) {
+          const RouteRec* route = router_.find(event.ball);
+          RLSLB_ASSERT_MSG(route != nullptr, "resample event for a ball that is not live");
+          shard = &shardOf(route->bin);
+        } else {
+          shard = &shards_[0];
+        }
+        BallRec* it = shard->balls.find(event.ball);
+        RLSLB_ASSERT_MSG(it != nullptr, "resample event for a ball that is not live");
+        const std::int32_t src = it->bin;
+        const std::int32_t dst = decision.bin;
+        // Strict local-search rule on *live* loads: the sampled candidate
+        // came from the epoch snapshot stream, but the acceptance must never
+        // worsen balance, so it is re-checked here.
+        if (dst != src && loads_[static_cast<std::size_t>(dst)] + it->weight <
+                              loads_[static_cast<std::size_t>(src)]) {
+          ++migrations;
+          moveBall(event.ball, *shard, it, dst);
+        } else {
+          ++rejected;
+        }
+        break;
       }
-      break;
     }
   }
+  counters_.events += static_cast<std::int64_t>(count);
+  counters_.arrivals += arrivals;
+  counters_.departures += departures;
+  counters_.resamples += resamples;
+  counters_.migrations += migrations;
+  counters_.rejectedMoves += rejected;
 }
 
 void OnlineAllocator::resolve(const workload::Event& event, const Decision& decision,
                               std::int64_t ordinal, CrossShardQueues& queues) {
+  resolveBatch(&event, &decision, ordinal, 1, queues);
+}
+
+void OnlineAllocator::resolveBatch(const workload::Event* events,
+                                   const Decision* decisions, std::int64_t baseOrdinal,
+                                   std::size_t count, CrossShardQueues& queues) {
   RLSLB_ASSERT_MSG(routerEnabled_,
                    "resolve() needs the ball router; configurePartitions(shards, "
                    "/*enableRouter=*/true) first");
-  ++counters_.events;
-  switch (event.kind) {
-    case workload::EventKind::kArrive: {
-      RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
-      ++counters_.arrivals;
-      RLSLB_ASSERT(event.weight >= 1);
-      if (event.weight > maxWeightSeen_) maxWeightSeen_ = event.weight;
-      const bool inserted =
-          router_.emplace(event.ball, RouteRec{decision.bin, event.weight}).second;
-      RLSLB_ASSERT_MSG(inserted, "arrive event for a ball id that is already live");
-      loads_[static_cast<std::size_t>(decision.bin)] += event.weight;
-      totalLoad_ += event.weight;
-      ++liveBalls_;
-      const int owner = partition_.ownerOf(decision.bin);
-      queues.push(owner, owner,
-                  BinOp{ordinal, event.ball, event.weight, decision.bin,
-                        BinOp::Kind::kPlace});
-      break;
-    }
-    case workload::EventKind::kDepart: {
-      ++counters_.departures;
-      const auto route = router_.find(event.ball);
-      RLSLB_ASSERT_MSG(route != router_.end(), "depart event for a ball that is not live");
-      const RouteRec rec = route->second;
-      router_.erase(route);
-      loads_[static_cast<std::size_t>(rec.bin)] -= rec.weight;
-      RLSLB_ASSERT(loads_[static_cast<std::size_t>(rec.bin)] >= 0);
-      totalLoad_ -= rec.weight;
-      --liveBalls_;
-      const int owner = partition_.ownerOf(rec.bin);
-      queues.push(owner, owner,
-                  BinOp{ordinal, event.ball, rec.weight, rec.bin, BinOp::Kind::kRemove});
-      break;
-    }
-    case workload::EventKind::kResample: {
-      ++counters_.resamples;
-      RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
-      const auto route = router_.find(event.ball);
-      RLSLB_ASSERT_MSG(route != router_.end(),
-                       "resample event for a ball that is not live");
-      RouteRec& rec = route->second;
-      const std::int32_t src = rec.bin;
-      const std::int32_t dst = decision.bin;
-      // Exactly apply()'s live-load acceptance: loads_ has absorbed every
-      // earlier event of the epoch, so the partitioned path accepts and
-      // rejects the very same moves the fused path would.
-      if (dst != src && loads_[static_cast<std::size_t>(dst)] + rec.weight <
-                            loads_[static_cast<std::size_t>(src)]) {
-        ++counters_.migrations;
-        loads_[static_cast<std::size_t>(src)] -= rec.weight;
-        loads_[static_cast<std::size_t>(dst)] += rec.weight;
-        const int from = partition_.ownerOf(src);
-        const int to = partition_.ownerOf(dst);
-        // Remove before Place so a same-owner migration replays in the
-        // right order out of the (from, from) queue.
-        queues.push(from, from,
-                    BinOp{ordinal, event.ball, rec.weight, src, BinOp::Kind::kRemove});
-        queues.push(from, to,
-                    BinOp{ordinal, event.ball, rec.weight, dst, BinOp::Kind::kPlace});
-        rec.bin = dst;
-      } else {
-        ++counters_.rejectedMoves;
+  // The partitioned hot loop: same local-counter treatment as applyBatch;
+  // per-event logic is exactly resolve()'s (which forwards here).
+  std::int64_t arrivals = 0;
+  std::int64_t departures = 0;
+  std::int64_t resamples = 0;
+  std::int64_t migrations = 0;
+  std::int64_t rejected = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const workload::Event& event = events[i];
+    const std::int64_t ordinal = baseOrdinal + static_cast<std::int64_t>(i);
+    switch (event.kind) {
+      case workload::EventKind::kArrive: {
+        const Decision& decision = decisions[i];
+        RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
+        ++arrivals;
+        RLSLB_ASSERT(event.weight >= 1);
+        if (event.weight > maxWeightSeen_) maxWeightSeen_ = event.weight;
+        const bool inserted =
+            router_.emplace(event.ball, RouteRec{decision.bin, event.weight}).second;
+        RLSLB_ASSERT_MSG(inserted, "arrive event for a ball id that is already live");
+        loads_[static_cast<std::size_t>(decision.bin)] += event.weight;
+        totalLoad_ += event.weight;
+        ++liveBalls_;
+        const int owner = partition_.ownerOf(decision.bin);
+        markDirty(shards_[static_cast<std::size_t>(owner)], decision.bin);
+        queues.push(owner, owner,
+                    BinOp{ordinal, event.ball, event.weight, decision.bin,
+                          BinOp::Kind::kPlace});
+        break;
       }
-      break;
+      case workload::EventKind::kDepart: {
+        ++departures;
+        RouteRec* route = router_.find(event.ball);
+        RLSLB_ASSERT_MSG(route != nullptr, "depart event for a ball that is not live");
+        const RouteRec rec = *route;
+        router_.erase(route);
+        loads_[static_cast<std::size_t>(rec.bin)] -= rec.weight;
+        RLSLB_ASSERT(loads_[static_cast<std::size_t>(rec.bin)] >= 0);
+        totalLoad_ -= rec.weight;
+        --liveBalls_;
+        const int owner = partition_.ownerOf(rec.bin);
+        markDirty(shards_[static_cast<std::size_t>(owner)], rec.bin);
+        queues.push(owner, owner,
+                    BinOp{ordinal, event.ball, rec.weight, rec.bin,
+                          BinOp::Kind::kRemove});
+        break;
+      }
+      case workload::EventKind::kResample: {
+        const Decision& decision = decisions[i];
+        ++resamples;
+        RLSLB_ASSERT(decision.bin >= 0 && decision.bin < options_.bins);
+        RouteRec* route = router_.find(event.ball);
+        RLSLB_ASSERT_MSG(route != nullptr, "resample event for a ball that is not live");
+        RouteRec& rec = *route;
+        const std::int32_t src = rec.bin;
+        const std::int32_t dst = decision.bin;
+        // Exactly apply()'s live-load acceptance: loads_ has absorbed every
+        // earlier event of the epoch, so the partitioned path accepts and
+        // rejects the very same moves the fused path would.
+        if (dst != src && loads_[static_cast<std::size_t>(dst)] + rec.weight <
+                              loads_[static_cast<std::size_t>(src)]) {
+          ++migrations;
+          loads_[static_cast<std::size_t>(src)] -= rec.weight;
+          loads_[static_cast<std::size_t>(dst)] += rec.weight;
+          const int from = partition_.ownerOf(src);
+          const int to = partition_.ownerOf(dst);
+          markDirty(shards_[static_cast<std::size_t>(from)], src);
+          markDirty(shards_[static_cast<std::size_t>(to)], dst);
+          // Remove before Place so a same-owner migration replays in the
+          // right order out of the (from, from) queue.
+          queues.push(from, from,
+                      BinOp{ordinal, event.ball, rec.weight, src, BinOp::Kind::kRemove});
+          queues.push(from, to,
+                      BinOp{ordinal, event.ball, rec.weight, dst, BinOp::Kind::kPlace});
+          rec.bin = dst;
+        } else {
+          ++rejected;
+        }
+        break;
+      }
     }
   }
+  counters_.events += static_cast<std::int64_t>(count);
+  counters_.arrivals += arrivals;
+  counters_.departures += departures;
+  counters_.resamples += resamples;
+  counters_.migrations += migrations;
+  counters_.rejectedMoves += rejected;
 }
 
 void OnlineAllocator::applyShardOps(int shard, const CrossShardQueues& queues) {
@@ -248,11 +273,21 @@ void OnlineAllocator::applyShardOps(int shard, const CrossShardQueues& queues) {
       materializeRemove(s, op);
     }
   });
+  // Reconcile this shard's deferred deltas here so the per-epoch
+  // Fenwick work rides the parallel drain instead of a
+  // sequential sweep. Safe concurrently: flushShard writes only s-owned
+  // state plus s's slice of dirtyMark_, and reads loads_ (quiescent during
+  // the drain).
+  flushShard(s);
 }
 
 bool OnlineAllocator::repairMove(rng::Xoshiro256pp& eng) {
   const std::int64_t total = totalLoad_;
   if (total == 0) return false;
+  // The weighted walk below reads the per-shard Fenwick trees, so any
+  // deferred deltas must land first. After one repair's own move, the next
+  // call's flush touches at most two bins.
+  flush();
   ++counters_.repairAttempts;
   // Load-weighted bin pick, then a uniform ball within the bin: with unit
   // weights this composes to a uniform pick over live balls (the RLS
@@ -280,9 +315,9 @@ bool OnlineAllocator::repairMove(rng::Xoshiro256pp& eng) {
   const std::int64_t ball = srcBalls[pick];
   const auto dst = static_cast<std::int32_t>(
       rng::uniformIndex(eng, static_cast<std::uint64_t>(loads_.size())));
-  const auto it = srcShard.balls.find(ball);
-  RLSLB_ASSERT(it != srcShard.balls.end());
-  if (dst == src || loads_[static_cast<std::size_t>(dst)] + it->second.weight >=
+  BallRec* it = srcShard.balls.find(ball);
+  RLSLB_ASSERT(it != nullptr);
+  if (dst == src || loads_[static_cast<std::size_t>(dst)] + it->weight >=
                         loads_[static_cast<std::size_t>(src)]) {
     return false;
   }
@@ -292,17 +327,39 @@ bool OnlineAllocator::repairMove(rng::Xoshiro256pp& eng) {
 }
 
 void OnlineAllocator::changeLoad(Shard& shard, std::int32_t bin, std::int64_t delta) {
-  const auto local = static_cast<std::size_t>(bin - shard.firstBin);
-  const std::int64_t before = shard.binLoad[local];
-  const std::int64_t after = before + delta;
+  const auto g = static_cast<std::size_t>(bin);
+  const std::int64_t after = loads_[g] + delta;
   RLSLB_ASSERT(after >= 0);
-  shard.binLoad[local] = after;
-  loads_[static_cast<std::size_t>(bin)] = after;
+  loads_[g] = after;
   totalLoad_ += delta;
-  shard.mass.add(local, delta);
-  const auto it = shard.levels.find(before);
-  if (--(it->second) == 0) shard.levels.erase(it);
-  ++shard.levels[after];
+  markDirty(shard, bin);
+}
+
+void OnlineAllocator::markDirty(Shard& shard, std::int32_t bin) {
+  std::uint8_t& mark = dirtyMark_[static_cast<std::size_t>(bin)];
+  if (mark == 0) {
+    mark = 1;
+    shard.dirty.push_back(bin);
+  }
+}
+
+void OnlineAllocator::flush() {
+  for (Shard& shard : shards_) {
+    if (!shard.dirty.empty()) flushShard(shard);
+  }
+}
+
+void OnlineAllocator::flushShard(Shard& shard) {
+  for (const std::int32_t bin : shard.dirty) {
+    const auto local = static_cast<std::size_t>(bin - shard.firstBin);
+    const std::int64_t after = loads_[static_cast<std::size_t>(bin)];
+    const std::int64_t before = shard.binLoad[local];
+    dirtyMark_[static_cast<std::size_t>(bin)] = 0;
+    if (after == before) continue;  // net-zero over the batch: nothing to do
+    shard.binLoad[local] = after;
+    shard.mass.add(local, after - before);
+  }
+  shard.dirty.clear();
 }
 
 void OnlineAllocator::placeBall(std::int64_t ball, std::int64_t weight, std::int32_t bin) {
@@ -332,24 +389,23 @@ void OnlineAllocator::eraseBall(Shard& shard, std::int64_t ball, const BallRec& 
   if (moved != ball) shard.balls.at(moved).slot = rec.slot;
 }
 
-void OnlineAllocator::moveBall(std::int64_t ball, Shard& srcShard,
-                               std::unordered_map<std::int64_t, BallRec>::iterator it,
+void OnlineAllocator::moveBall(std::int64_t ball, Shard& srcShard, BallRec* rec,
                                std::int32_t toBin) {
-  const BallRec old = it->second;
+  const BallRec old = *rec;
   eraseBall(srcShard, ball, old);
   Shard& dstShard = shardOf(toBin);
   auto& dstSlot = dstShard.binBalls[static_cast<std::size_t>(toBin - dstShard.firstBin)];
   const BallRec next{toBin, old.weight, static_cast<std::int32_t>(dstSlot.size())};
   if (&dstShard == &srcShard) {
-    it->second = next;
+    *rec = next;
   } else {
-    srcShard.balls.erase(it);
+    srcShard.balls.erase(rec);
     dstShard.balls.emplace(ball, next);
   }
   dstSlot.push_back(ball);
   changeLoad(srcShard, old.bin, -old.weight);
   changeLoad(dstShard, toBin, old.weight);
-  if (routerEnabled_) router_.find(ball)->second.bin = toBin;
+  if (routerEnabled_) router_.at(ball).bin = toBin;
 }
 
 void OnlineAllocator::materializePlace(Shard& shard, const BinOp& op) {
@@ -359,93 +415,81 @@ void OnlineAllocator::materializePlace(Shard& shard, const BinOp& op) {
   RLSLB_ASSERT_MSG(inserted, "Place op for a ball already present in the owner shard");
   (void)it;
   slot.push_back(op.ball);
-  localChangeLoad(shard, static_cast<std::size_t>(op.bin - shard.firstBin), op.weight);
+  // Load accounting already happened: resolve() moved loads_ and marked the
+  // bin dirty; flushShard() settles the structures after the drain.
 }
 
 void OnlineAllocator::materializeRemove(Shard& shard, const BinOp& op) {
-  const auto it = shard.balls.find(op.ball);
-  RLSLB_ASSERT_MSG(it != shard.balls.end(), "Remove op for a ball the owner never held");
-  const BallRec rec = it->second;
+  BallRec* it = shard.balls.find(op.ball);
+  RLSLB_ASSERT_MSG(it != nullptr, "Remove op for a ball the owner never held");
+  const BallRec rec = *it;
   RLSLB_ASSERT(rec.bin == op.bin);
   eraseBall(shard, op.ball, rec);
   shard.balls.erase(it);
-  localChangeLoad(shard, static_cast<std::size_t>(op.bin - shard.firstBin), -op.weight);
-}
-
-void OnlineAllocator::localChangeLoad(Shard& shard, std::size_t local,
-                                      std::int64_t delta) {
-  const std::int64_t before = shard.binLoad[local];
-  const std::int64_t after = before + delta;
-  RLSLB_ASSERT(after >= 0);
-  shard.binLoad[local] = after;
-  shard.mass.add(local, delta);
-  const auto it = shard.levels.find(before);
-  if (--(it->second) == 0) shard.levels.erase(it);
-  ++shard.levels[after];
 }
 
 std::int64_t OnlineAllocator::minLoad() const {
-  std::int64_t lo = shards_[0].levels.begin()->first;
-  for (std::size_t s = 1; s < shards_.size(); ++s) {
-    lo = std::min(lo, shards_[s].levels.begin()->first);
-  }
+  // Accessors are sequential-only by contract (see header), so the lazy
+  // flush is safe; after the event loop's in-timer flush it is a no-op.
+  // The O(n) scan replaces a maintained level histogram: min/max are read
+  // a handful of times per epoch (outside the timed hot path), so paying
+  // for a scan here is far cheaper than paying per load change there.
+  const_cast<OnlineAllocator*>(this)->flush();
+  std::int64_t lo = loads_[0];
+  for (const std::int64_t v : loads_) lo = std::min(lo, v);
   return lo;
 }
 
 std::int64_t OnlineAllocator::maxLoad() const {
-  std::int64_t hi = shards_[0].levels.rbegin()->first;
-  for (std::size_t s = 1; s < shards_.size(); ++s) {
-    hi = std::max(hi, shards_[s].levels.rbegin()->first);
-  }
+  const_cast<OnlineAllocator*>(this)->flush();
+  std::int64_t hi = loads_[0];
+  for (const std::int64_t v : loads_) hi = std::max(hi, v);
   return hi;
 }
 
 sim::BalanceState OnlineAllocator::balanceState() const {
+  const_cast<OnlineAllocator*>(this)->flush();
   sim::BalanceState state;
   state.numBins = numBins();
   state.numBalls = totalLoad_;  // total carried weight
   state.minLoad = minLoad();
   state.maxLoad = maxLoad();
   const std::int64_t ceilAvg = (state.numBalls + state.numBins - 1) / state.numBins;
-  for (const Shard& shard : shards_) {
-    for (auto it = shard.levels.upper_bound(ceilAvg); it != shard.levels.end(); ++it) {
-      state.overloadedBalls += (it->first - ceilAvg) * it->second;
-    }
+  for (const std::int64_t v : loads_) {
+    if (v > ceilAvg) state.overloadedBalls += v - ceilAvg;
   }
   return state;
 }
 
 bool OnlineAllocator::validate() const {
+  const_cast<OnlineAllocator*>(this)->flush();
   std::int64_t total = 0;
   std::int64_t ballCount = 0;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = shards_[s];
     if (shard.firstBin != partition_.beginBin(static_cast<int>(s))) return false;
-    std::map<std::int64_t, std::int64_t> levels;
     for (std::size_t local = 0; local < shard.binBalls.size(); ++local) {
       const auto bin = static_cast<std::size_t>(shard.firstBin) + local;
       std::int64_t binLoad = 0;
       for (std::size_t i = 0; i < shard.binBalls[local].size(); ++i) {
         const std::int64_t ball = shard.binBalls[local][i];
-        const auto it = shard.balls.find(ball);
-        if (it == shard.balls.end()) return false;
-        if (it->second.bin != static_cast<std::int32_t>(bin)) return false;
-        if (it->second.slot != static_cast<std::int32_t>(i)) return false;
-        binLoad += it->second.weight;
+        const BallRec* it = shard.balls.find(ball);
+        if (it == nullptr) return false;
+        if (it->bin != static_cast<std::int32_t>(bin)) return false;
+        if (it->slot != static_cast<std::int32_t>(i)) return false;
+        binLoad += it->weight;
         if (routerEnabled_) {
-          const auto route = router_.find(ball);
-          if (route == router_.end()) return false;
-          if (route->second.bin != it->second.bin) return false;
-          if (route->second.weight != it->second.weight) return false;
+          const RouteRec* route = router_.find(ball);
+          if (route == nullptr) return false;
+          if (route->bin != it->bin) return false;
+          if (route->weight != it->weight) return false;
         }
       }
       if (binLoad != shard.binLoad[local]) return false;
       if (binLoad != loads_[bin]) return false;
       if (shard.mass.get(local) != binLoad) return false;
       total += binLoad;
-      ++levels[binLoad];
     }
-    if (levels != shard.levels) return false;
     std::int64_t shardMass = 0;
     for (const std::int64_t v : shard.binLoad) shardMass += v;
     if (shard.mass.total() != shardMass) return false;

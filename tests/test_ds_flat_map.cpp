@@ -1,0 +1,187 @@
+// Unit tests for ds::FlatMap64, the open-addressing map under the serving
+// hot path. The interesting failure modes of a linear-probing table with
+// backward-shift deletion are all about displaced entries — a key that did
+// not get its home slot must stay reachable across arbitrary interleaved
+// erases — so the core test is a randomized differential against
+// std::unordered_map under heavy churn, plus targeted shapes (sequential
+// id windows, wrap-around clusters) that mirror how ball ids actually
+// arrive and depart.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/flat_map.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace rlslb {
+namespace {
+
+struct Rec {
+  std::int32_t bin = 0;
+  std::int64_t weight = 0;
+  bool operator==(const Rec& o) const { return bin == o.bin && weight == o.weight; }
+};
+
+// Pull every entry out through forEach and compare against the reference
+// map, both directions.
+void expectSameContents(const ds::FlatMap64<Rec>& map,
+                        const std::unordered_map<std::int64_t, Rec>& ref) {
+  ASSERT_EQ(map.size(), ref.size());
+  std::size_t seen = 0;
+  map.forEach([&](std::int64_t key, const Rec& value) {
+    ++seen;
+    const auto it = ref.find(key);
+    ASSERT_NE(it, ref.end()) << "key " << key << " not in reference";
+    EXPECT_EQ(value, it->second);
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatMap64, EmplaceFindEraseBasics) {
+  ds::FlatMap64<Rec> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+
+  auto [v, inserted] = map.emplace(7, Rec{3, 10});
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(v->bin, 3);
+  EXPECT_EQ(map.size(), 1u);
+
+  // Duplicate emplace keeps the existing value.
+  auto [v2, again] = map.emplace(7, Rec{9, 99});
+  EXPECT_FALSE(again);
+  EXPECT_EQ(v2->bin, 3);
+  EXPECT_EQ(map.size(), 1u);
+
+  // Mutation through the returned pointer sticks.
+  v2->bin = 5;
+  EXPECT_EQ(map.at(7).bin, 5);
+
+  map.erase(map.find(7));
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+}
+
+TEST(FlatMap64, GrowthKeepsEveryEntry) {
+  ds::FlatMap64<Rec> map;
+  constexpr std::int64_t kCount = 10'000;  // forces many rehashes from cap 16
+  for (std::int64_t k = 0; k < kCount; ++k) {
+    ASSERT_TRUE(map.emplace(k, Rec{static_cast<std::int32_t>(k % 97), k}).second);
+  }
+  ASSERT_EQ(map.size(), static_cast<std::size_t>(kCount));
+  for (std::int64_t k = 0; k < kCount; ++k) {
+    const Rec* r = map.find(k);
+    ASSERT_NE(r, nullptr) << "key " << k << " lost across growth";
+    EXPECT_EQ(r->weight, k);
+  }
+  EXPECT_EQ(map.find(kCount), nullptr);
+  EXPECT_EQ(map.find(-1), nullptr);
+}
+
+// The serving id pattern: a sliding window of sequential ball ids — new
+// ids arrive at the top, old ids depart from the bottom. Erasing the
+// oldest key repeatedly is exactly the shape that punishes tombstone
+// schemes and stresses backward shift.
+TEST(FlatMap64, SlidingSequentialWindow) {
+  ds::FlatMap64<Rec> map;
+  std::unordered_map<std::int64_t, Rec> ref;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (; hi < 512; ++hi) {
+    map.emplace(hi, Rec{0, hi});
+    ref.emplace(hi, Rec{0, hi});
+  }
+  // Slide the window far enough that home slots wrap the table repeatedly.
+  for (int step = 0; step < 20'000; ++step) {
+    map.emplace(hi, Rec{0, hi});
+    ref.emplace(hi, Rec{0, hi});
+    ++hi;
+    Rec* oldest = map.find(lo);
+    ASSERT_NE(oldest, nullptr);
+    map.erase(oldest);
+    ref.erase(lo);
+    ++lo;
+  }
+  expectSameContents(map, ref);
+}
+
+TEST(FlatMap64, RandomizedDifferentialChurn) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    ds::FlatMap64<Rec> map;
+    std::unordered_map<std::int64_t, Rec> ref;
+    rng::Xoshiro256pp eng(seed);
+    for (int op = 0; op < 200'000; ++op) {
+      const std::uint64_t r = eng.next();
+      // Small key universe so inserts collide with live keys and erases
+      // hit displaced entries often.
+      const auto key = static_cast<std::int64_t>(r % 4096);
+      switch ((r >> 32) % 3) {
+        case 0: {  // insert
+          const Rec rec{static_cast<std::int32_t>(r % 100), static_cast<std::int64_t>(op)};
+          EXPECT_EQ(map.emplace(key, rec).second, ref.emplace(key, rec).second);
+          break;
+        }
+        case 1: {  // erase if present
+          Rec* found = map.find(key);
+          const auto it = ref.find(key);
+          ASSERT_EQ(found == nullptr, it == ref.end());
+          if (found != nullptr) {
+            map.erase(found);
+            ref.erase(it);
+          }
+          break;
+        }
+        default: {  // lookup
+          const Rec* found = map.find(key);
+          const auto it = ref.find(key);
+          ASSERT_EQ(found == nullptr, it == ref.end());
+          if (found != nullptr) EXPECT_EQ(*found, it->second);
+          break;
+        }
+      }
+    }
+    expectSameContents(map, ref);
+  }
+}
+
+TEST(FlatMap64, ClearRetainsCapacityAndDropsEntries) {
+  ds::FlatMap64<Rec> map;
+  for (std::int64_t k = 0; k < 100; ++k) map.emplace(k, Rec{1, k});
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  for (std::int64_t k = 0; k < 100; ++k) EXPECT_EQ(map.find(k), nullptr);
+  // Reusable after clear.
+  map.emplace(42, Rec{7, 7});
+  EXPECT_EQ(map.at(42).bin, 7);
+}
+
+TEST(FlatMap64, ReserveAvoidsRehashDuringFill) {
+  ds::FlatMap64<Rec> map;
+  map.reserve(5000);
+  // Pointers stay stable while size stays under the reserved headroom and
+  // nothing is erased (no growth, no backward shift).
+  auto [first, inserted] = map.emplace(1, Rec{1, 1});
+  ASSERT_TRUE(inserted);
+  for (std::int64_t k = 2; k <= 5000; ++k) map.emplace(k, Rec{0, k});
+  EXPECT_EQ(first->weight, 1);
+  EXPECT_EQ(map.size(), 5000u);
+}
+
+TEST(FlatMap64, NegativeAndHugeKeys) {
+  ds::FlatMap64<Rec> map;
+  const std::vector<std::int64_t> keys = {-1, -4096, INT64_MAX, INT64_MIN + 1, 0,
+                                          1'000'000'000'000LL};
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(map.emplace(keys[i], Rec{static_cast<std::int32_t>(i), 0}).second);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const Rec* r = map.find(keys[i]);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->bin, static_cast<std::int32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace rlslb

@@ -45,12 +45,14 @@ bool bitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
 #endif
 #endif
 
-#if !defined(NDEBUG) && !defined(RLSLB_TEST_UNDER_TSAN)
+#if !defined(RLSLB_TEST_UNDER_TSAN)
 TEST(ThreadPoolDeathTest, NestedParallelForAbortsWithDiagnostic) {
   // The documented non-nestable contract: nesting on a pool with workers
-  // would corrupt the single job slot and deadlock; debug builds must
-  // abort with a message instead. (Skipped under TSan: fork-based death
-  // tests and the sanitizer runtime do not mix.)
+  // would corrupt the single job slot and deadlock. RLSLB_ASSERT is active
+  // in every build type, so this death test runs in Release too — the
+  // guard used to live inside #ifndef NDEBUG, which left Release builds
+  // with the silent deadlock this test exists to rule out. (Skipped under
+  // TSan: fork-based death tests and the sanitizer runtime do not mix.)
   ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   ThreadPool pool(3);
   EXPECT_DEATH(
@@ -58,6 +60,32 @@ TEST(ThreadPoolDeathTest, NestedParallelForAbortsWithDiagnostic) {
                        [&](std::int64_t) {
                          pool.parallelFor(2, [](std::int64_t) {});
                        }),
+      "not reentrant");
+}
+
+TEST(ThreadPoolDeathTest, ConcurrentDispatchFromASecondThreadAborts) {
+  // The other half of the single-job-slot contract: two threads
+  // dispatching on the same pool concurrently. The body parks every
+  // worker on a latch until the second dispatch has hit the guard, so
+  // exactly one of the two calls must die — which one wins the exchange
+  // is a race, so the whole scenario runs inside EXPECT_DEATH.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(3);
+        std::atomic<bool> release{false};
+        std::thread second;
+        pool.parallelFor(4, [&](std::int64_t i) {
+          if (i == 0) {
+            second = std::thread([&] {
+              pool.parallelFor(2, [](std::int64_t) {});
+            });
+            second.join();  // unreachable: the dispatch above aborts
+            release.store(true);
+          }
+          while (!release.load()) std::this_thread::yield();
+        });
+      },
       "not reentrant");
 }
 #endif

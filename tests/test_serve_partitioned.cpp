@@ -128,6 +128,30 @@ Outcome runPartitioned(const Config& c, int shards, int threads) {
   return out;
 }
 
+Outcome runFused(const Config& c) {
+  auto trace = makeTrace(c.kind, c.bins, c.events, c.seed);
+  OnlineAllocator allocator(AllocatorOptions{.bins = c.bins, .arrivalChoices = 2});
+  runner::ThreadPool pool(1);
+  LoopOptions options;
+  options.shards = 4;
+  options.epochEvents = c.epochEvents;
+  options.repairMovesPerEpoch = 4;
+  options.seed = c.seed;
+  options.applyMode = ApplyMode::kSequential;
+  ShardedEventLoop loop(allocator, options, pool);
+  Outcome out;
+  const auto result = loop.run(*trace, [&](const EpochStats& s) {
+    out.gapTrajectory.push_back(s.gap());
+  });
+  EXPECT_EQ(result.events, c.events);
+  EXPECT_TRUE(allocator.validate());
+  out.loads = allocator.loads();
+  out.counters = allocator.counters();
+  out.liveBalls = allocator.liveBalls();
+  out.totalLoad = allocator.totalLoad();
+  return out;
+}
+
 void expectIdentical(const Outcome& ref, const Outcome& got, const char* axis,
                      std::int64_t a, std::int64_t b) {
   EXPECT_EQ(ref.loads, got.loads) << axis << "=(" << a << "," << b << ")";
@@ -151,6 +175,24 @@ TEST(PartitionedDifferential, ShardAndThreadMatrix) {
         expectIdentical(ref, runPartitioned(c, shards, threads), "shards,threads",
                         shards, threads);
       }
+    }
+  }
+}
+
+// The fused (kSequential) execution of the batched hot path — snapshot-free
+// decision phase, per-event engine reseed, deferred Fenwick/histogram
+// flush, batched apply — against the frozen pre-change reference loop:
+// the equivalence pin for the hot-path rework. Every semantic observable,
+// including the per-epoch gap trajectory, must be byte-identical.
+TEST(FusedDifferential, MatchesReferenceAcrossKindsAndSeeds) {
+  for (const TraceKind kind : kAllKinds) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      Config c;
+      c.kind = kind;
+      c.seed = seed;
+      expectIdentical(runReference(c), runFused(c), "kind,seed",
+                      static_cast<std::int64_t>(kind),
+                      static_cast<std::int64_t>(seed));
     }
   }
 }
