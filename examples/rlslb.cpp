@@ -196,6 +196,7 @@ int main(int argc, char** argv) {
   scenario::applyParamTokens(ctx, paramTokens);
 
   const std::string outPath = args.getString("out", "");
+  const std::string tracePath = args.getString("trace-out", "");
   const auto unusedFlags = args.unusedKeys();
   if (!unusedFlags.empty()) {
     for (const auto& k : unusedFlags) std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
@@ -203,6 +204,8 @@ int main(int argc, char** argv) {
   }
   scenario::ResultOutput out;
   if (!out.attach(outPath, ctx)) return 2;
+  scenario::TraceOutput traceOut;
+  traceOut.attach(tracePath, ctx);
 
   std::vector<std::string> toRun = names;
   if (command == "all") {
@@ -217,6 +220,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!traceOut.finish(ctx)) return 2;
 
   // A parameter consumed by none of the scenarios that ran is a typo.
   const auto unusedParams = ctx.params.unusedKeys();

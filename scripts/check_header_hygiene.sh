@@ -34,6 +34,14 @@ for hdr in $(find src -name '*.hpp' | sort); do
   fi
 done
 
+# The sweep is a recursive glob, but guard the telemetry layer explicitly:
+# src/obs/ headers are included by the scenario context, so a hygiene sweep
+# that silently stopped seeing them would pass while the installed API rots.
+if ! find src/obs -name '*.hpp' 2>/dev/null | grep -q .; then
+  echo "FAIL: no src/obs/ headers in the sweep (telemetry layer moved?)"
+  status=1
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "OK: all $checked public headers compile standalone ($CXX_BIN)"
 else

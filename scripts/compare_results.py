@@ -45,14 +45,25 @@ tolerated overhead when real worker threads are available; on multi-core
 runners it is expected to win outright.
 
 Prior-run trend line: CI uploads every run's results.jsonl as an artifact
-keyed by git sha. Passing one back in with
+keyed by git sha. Passing runs back in, OLDEST FIRST, with
 
-    scripts/compare_results.py results.jsonl BENCH_baseline.json --prior prior.jsonl
+    scripts/compare_results.py results.jsonl BENCH_baseline.json \
+        --prior run-3.jsonl --prior run-2.jsonl --prior run-1.jsonl
 
-prints a non-gating current-vs-prior table. Two runs from the same runner
-class are far closer in machine speed than either is to the committed
-baseline, so this is the sharpest view of what a single commit changed --
-but runners are not identical, so it stays a trend line, never a gate.
+prints a non-gating current-vs-newest-prior table. Two runs from the same
+runner class are far closer in machine speed than either is to the
+committed baseline, so this is the sharpest view of what a single commit
+changed -- but runners are not identical, so it stays a trend line, never
+a gate.
+
+With at least --drift-window priors (default 3) the rolling window is
+also scanned for SUSTAINED drift: a scenario that moved in the same
+direction across every one of the last --drift-window run-to-run steps
+AND by more than --trend-threshold in total is flagged (WARNING when
+slower -- a creeping regression the per-commit noise hides; note when
+faster). When every gated scenario sustains a speedup, the check suggests
+regenerating the baseline with --write-baseline, since a stale slow
+baseline widens every later gate.
 
 Regenerate the baseline after an intentional perf change:
 
@@ -127,10 +138,17 @@ def main():
                          "(default 0.60; the fused single-shard loop is fast "
                          "enough that the partitioned path's fixed queue cost "
                          "is a larger relative overhead)")
-    ap.add_argument("--prior", metavar="PATH",
+    ap.add_argument("--prior", metavar="PATH", action="append", default=[],
                     help="results.jsonl from a prior run (the sha-keyed CI "
-                         "artifact); prints a non-gating current-vs-prior "
-                         "trend table in absolute numbers")
+                         "artifact); repeatable, pass oldest first. Prints a "
+                         "non-gating current-vs-newest-prior trend table and, "
+                         "with >= --drift-window priors, scans the rolling "
+                         "window for sustained drift")
+    ap.add_argument("--drift-window", type=int, default=3,
+                    help="number of consecutive run-to-run steps that must "
+                         "move the same way (on top of a total change beyond "
+                         "--trend-threshold) before drift counts as sustained "
+                         "(default 3)")
     ap.add_argument("--trend-threshold", type=float, default=0.10,
                     help="non-gating uniform-drift warning: fires when every "
                          "gated scenario's absolute ratio moves the same way "
@@ -289,8 +307,9 @@ def main():
     # this is the sharpest per-commit signal available -- but runners are
     # not identical, so it never gates.
     if args.prior:
-        prior_walls, prior_throughput = load_metrics(args.prior)
-        print(f"trend vs prior run ({args.prior}; absolute, non-gating):")
+        priors = [load_metrics(p) for p in args.prior]  # oldest -> newest
+        prior_walls, prior_throughput = priors[-1]
+        print(f"trend vs prior run ({args.prior[-1]}; absolute, non-gating):")
         print(f"{'scenario':24} {'prior':>12} {'current':>12} {'change':>8}")
         for name in sorted(set(walls) & set(prior_walls)):
             change = walls[name] / prior_walls[name] - 1.0
@@ -306,6 +325,65 @@ def main():
                       | (set(throughput) ^ set(prior_throughput)))
         if only:
             print(f"note: scenarios present in only one run: {only}")
+
+        # Rolling-window sustained-drift scan: chronological series
+        # [oldest prior, ..., newest prior, current]; a scenario drifts
+        # when ALL of the last --drift-window run-to-run steps move the
+        # same way and the total movement exceeds --trend-threshold.
+        # Per-commit noise flips direction constantly; a monotone window
+        # is exactly the creeping change the single-prior table hides.
+        window = args.drift_window
+        if len(priors) >= window:
+            def sustained(series):
+                """+total when monotonically slower, -total when faster."""
+                if len(series) < window + 1 or any(v <= 0 for v in series):
+                    return None
+                tail = series[-(window + 1):]
+                steps = [b / a for a, b in zip(tail, tail[1:])]
+                total = tail[-1] / tail[0]
+                if all(s > 1.0 for s in steps) and total > 1.0 + args.trend_threshold:
+                    return total
+                if all(s < 1.0 for s in steps) and total < 1.0 - args.trend_threshold:
+                    return total
+                return None
+
+            slower, faster = [], []
+            for name in sorted(walls):
+                series = [pw[name] for pw, _ in priors if name in pw] + [walls[name]]
+                total = sustained(series)
+                if total is not None:
+                    (slower if total > 1.0 else faster).append((name, total))
+            for name in sorted(throughput):
+                # events/sec inverted into "slowdown" so >1 means slower.
+                series = [1.0 / pt[name] for _, pt in priors
+                          if pt.get(name, 0) > 0] + [1.0 / throughput[name]
+                                                     if throughput[name] > 0 else 0]
+                total = sustained(series)
+                if total is not None:
+                    (slower if total > 1.0 else faster).append(
+                        (f"{name} (throughput)", total))
+
+            if slower:
+                for name, total in slower:
+                    print(f"WARNING: sustained drift -- {name} got slower in "
+                          f"each of the last {window} runs ({total - 1.0:+.1%} "
+                          f"total); a creeping regression the per-commit "
+                          f"noise hides. Bisect the window before it "
+                          f"compounds.")
+            if faster:
+                for name, total in faster:
+                    print(f"note: sustained speedup -- {name} got faster in "
+                          f"each of the last {window} runs "
+                          f"({total - 1.0:+.1%} total)")
+                gated_names = set(gated) | set(baseline_throughput)
+                fast_names = {n.removesuffix(" (throughput)") for n, _ in faster}
+                if gated_names and gated_names <= fast_names:
+                    print("suggestion: every gated scenario sustains a "
+                          "speedup -- the committed baseline looks stale; "
+                          "regenerate it with: scripts/compare_results.py "
+                          f"{args.results} --write-baseline {args.baseline}")
+            if not slower and not faster:
+                print(f"rolling window ({window} runs): no sustained drift")
 
     if failures:
         sys.exit(f"FAIL: regression >{args.tolerance:.0%} vs baseline "

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Render a perf-trajectory dashboard from rlslb results.jsonl runs.
+
+Input is the JSONL stream `rlslb ... --out=results.jsonl` writes (schema
+in docs/EXPERIMENTS.md). The dashboard has three sections:
+
+  1. Per-phase timing -- from each scenario's {"type":"metrics"} record:
+     the serve loop's phase counters (serve.phase.<phase>_ns) rendered as
+     a table plus a stacked ASCII bar, so "where did the epoch go" is one
+     glance. Works on any <prefix>.phase.<name>_ns vocabulary, not just
+     serve.
+  2. Counters / gauges / histograms -- the rest of the metrics record:
+     merged counter values, final gauges, and fixed-bucket histograms as
+     compact count rows.
+  3. Perf trajectory -- scenario wall-clocks and events/sec for the
+     current run, and, when prior runs are passed with --prior (oldest
+     first, e.g. the sha-keyed CI artifacts), a per-scenario trend line
+     across the rolling window.
+
+Everything here is presentation: the gating logic lives in
+scripts/compare_results.py. Typical use:
+
+    rlslb run serve_poisson --out=results.jsonl
+    scripts/perf_report.py results.jsonl
+
+    # CI: current against the last three artifacts
+    scripts/perf_report.py results.jsonl \
+        --prior run-3.jsonl --prior run-2.jsonl --prior run-1.jsonl
+"""
+
+import argparse
+import json
+import sys
+
+BAR_WIDTH = 40
+
+
+def load_run(path):
+    """Parse one results.jsonl into {scenario: {...}} plus run-level info."""
+    run = {"scenarios": {}, "manifest": None, "path": path}
+
+    def scen(name):
+        return run["scenarios"].setdefault(
+            name, {"metrics": None, "wall_s": None, "events_per_sec": None,
+                   "events": None})
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: not valid JSON: {e}")
+            t = rec.get("type")
+            if t == "manifest":
+                run["manifest"] = rec
+            elif t == "metrics":
+                scen(rec["scenario"])["metrics"] = rec
+            elif t == "scenario_end":
+                scen(rec["scenario"])["wall_s"] = float(rec["wall_s"])
+            elif t == "throughput":
+                s = scen(rec["scenario"])
+                s["events_per_sec"] = float(rec["events_per_sec"])
+                s["events"] = rec.get("events")
+    if not run["scenarios"]:
+        sys.exit(f"{path}: no scenario records found")
+    return run
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def phase_rows(counters):
+    """[(phase, ns)] from <prefix>.phase.<name>_ns counters, input order."""
+    rows = []
+    for name, value in counters.items():
+        if ".phase." in name and name.endswith("_ns"):
+            phase = name.split(".phase.", 1)[1][:-len("_ns")]
+            rows.append((phase, int(value)))
+    return rows
+
+
+def print_phase_timing(scenario, counters):
+    rows = phase_rows(counters)
+    total = sum(ns for _, ns in rows)
+    if total <= 0:
+        return
+    print(f"\n  per-phase timing -- {scenario} "
+          f"(instrumented loop time {fmt_ns(total)})")
+    print(f"    {'phase':10} {'time':>12} {'share':>7}  stacked")
+    for phase, ns in rows:
+        share = ns / total
+        bar = "#" * max(1, round(share * BAR_WIDTH)) if ns > 0 else ""
+        print(f"    {phase:10} {fmt_ns(ns):>12} {share:7.1%}  {bar}")
+
+
+def print_counters(scenario, metrics):
+    counters = {k: v for k, v in metrics.get("counters", {}).items()
+                if ".phase." not in k}
+    gauges = metrics.get("gauges", {})
+    hists = metrics.get("histograms", {})
+    if counters:
+        print(f"\n  counters -- {scenario}")
+        width = max(len(k) for k in counters)
+        for name, value in counters.items():
+            print(f"    {name:{width}} {value:>14,}")
+    if gauges:
+        print(f"\n  gauges -- {scenario}")
+        width = max(len(k) for k in gauges)
+        for name, value in gauges.items():
+            print(f"    {name:{width}} {value:>14g}")
+    for name, h in hists.items():
+        bounds = h.get("bounds", [])
+        counts = h.get("counts", [])
+        total = h.get("total", sum(counts))
+        if total <= 0:
+            continue
+        print(f"\n  histogram -- {scenario} {name} (n={total})")
+        labels = [f"<={b}" for b in bounds] + [f">{bounds[-1]}" if bounds else "all"]
+        peak = max(counts) if counts else 0
+        for label, count in zip(labels, counts):
+            if count == 0:
+                continue
+            bar = "#" * max(1, round(count / peak * BAR_WIDTH)) if peak else ""
+            print(f"    {label:>8} {count:>10,}  {bar}")
+
+
+def print_trajectory(current, priors):
+    """Wall + throughput across the rolling window, oldest -> current."""
+    runs = priors + [current]
+    names = sorted({n for run in runs for n in run["scenarios"]})
+    print("\nperf trajectory (oldest -> current"
+          + (f"; {len(priors)} prior runs" if priors else "") + ")")
+    header = f"  {'scenario':24} {'metric':>9}"
+    for run in runs:
+        tag = "current" if run is current else run["path"].rsplit("/", 1)[-1][:12]
+        header += f" {tag:>12}"
+    print(header + ("   trend" if priors else ""))
+    for name in names:
+        for metric, key, fmt in (("wall_s", "wall_s", "{:>12.3f}"),
+                                 ("events/s", "events_per_sec", "{:>12.0f}")):
+            series = [run["scenarios"].get(name, {}).get(key) for run in runs]
+            if all(v is None for v in series):
+                continue
+            row = f"  {name:24} {metric:>9}"
+            for v in series:
+                row += fmt.format(v) if v is not None else f" {'-':>11}"
+            if priors:
+                pts = [v for v in series if v is not None]
+                if len(pts) >= 2 and pts[0] > 0:
+                    change = pts[-1] / pts[0] - 1.0
+                    row += f"  {change:+6.1%}"
+            print(row)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("results", help="results.jsonl from an rlslb --out= run")
+    ap.add_argument("--prior", metavar="PATH", action="append", default=[],
+                    help="prior results.jsonl (repeatable, oldest first) for "
+                         "the rolling-window trend section")
+    ap.add_argument("--no-metrics", action="store_true",
+                    help="skip the per-scenario metrics sections (trajectory only)")
+    args = ap.parse_args()
+
+    current = load_run(args.results)
+    priors = [load_run(p) for p in args.prior]
+
+    m = current["manifest"]
+    if m:
+        print(f"run: {args.results} -- {m.get('tool', 'rlslb')} "
+              f"{m.get('version', '?')} @ {m.get('git_sha', '?')}, "
+              f"{m.get('build_type', '?')}, seed {m.get('seed', '?')}, "
+              f"scale {m.get('scale', '?')}, "
+              f"threads {m.get('threads_resolved', '?')}, "
+              f"host {m.get('host', '?')}")
+    else:
+        print(f"run: {args.results} (no manifest record)")
+
+    if not args.no_metrics:
+        for name in sorted(current["scenarios"]):
+            metrics = current["scenarios"][name]["metrics"]
+            if metrics is None:
+                continue
+            print_phase_timing(name, metrics.get("counters", {}))
+            print_counters(name, metrics)
+
+    print_trajectory(current, priors)
+
+
+if __name__ == "__main__":
+    main()

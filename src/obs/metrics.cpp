@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace rlslb::obs {
+
+namespace {
+
+/// Linear name lookup: registries hold a few dozen instruments and
+/// registration runs at setup time, so a map would be pure overhead.
+std::int32_t indexOf(const std::vector<std::string>& names, const std::string& name) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+CounterId MetricsRegistry::counter(const std::string& name) {
+  std::int32_t idx = indexOf(counterNames_, name);
+  if (idx < 0) {
+    idx = static_cast<std::int32_t>(counterNames_.size());
+    counterNames_.push_back(name);
+    layoutSlabs();
+  }
+  return CounterId{idx};
+}
+
+GaugeId MetricsRegistry::gauge(const std::string& name) {
+  std::int32_t idx = indexOf(gaugeNames_, name);
+  if (idx < 0) {
+    idx = static_cast<std::int32_t>(gaugeNames_.size());
+    gaugeNames_.push_back(name);
+    gauges_.push_back(0.0);
+  }
+  return GaugeId{idx};
+}
+
+HistId MetricsRegistry::histogram(const std::string& name,
+                                  const std::vector<std::int64_t>& bounds) {
+  RLSLB_ASSERT_MSG(!bounds.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    RLSLB_ASSERT_MSG(bounds[i - 1] < bounds[i],
+                     "histogram bounds must be strictly increasing");
+  }
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    if (hists_[i].name == name) {
+      RLSLB_ASSERT_MSG(hists_[i].bounds == bounds,
+                       "histogram re-registered with different bounds");
+      return HistId{static_cast<std::int32_t>(i)};
+    }
+  }
+  HistDef def;
+  def.name = name;
+  def.bounds = bounds;
+  def.offset = histSlots_;
+  histSlots_ += bounds.size() + 1;  // + overflow bucket
+  hists_.push_back(std::move(def));
+  layoutSlabs();
+  return HistId{static_cast<std::int32_t>(hists_.size() - 1)};
+}
+
+void MetricsRegistry::configureShards(int shards) {
+  RLSLB_ASSERT_MSG(shards >= 1, "MetricsRegistry needs at least one shard");
+  slabs_.resize(static_cast<std::size_t>(shards));
+  layoutSlabs();
+}
+
+void MetricsRegistry::layoutSlabs() {
+  for (Slab& slab : slabs_) {
+    slab.counters.resize(counterNames_.size(), 0);
+    slab.histBuckets.resize(histSlots_, 0);
+  }
+}
+
+std::int64_t MetricsRegistry::counterValue(CounterId id) const {
+  RLSLB_ASSERT(id.valid());
+  std::int64_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.counters[static_cast<std::size_t>(id.index)];
+  return total;
+}
+
+std::vector<std::int64_t> MetricsRegistry::histCounts(HistId id) const {
+  RLSLB_ASSERT(id.valid());
+  const HistDef& def = hists_[static_cast<std::size_t>(id.index)];
+  std::vector<std::int64_t> counts(def.bounds.size() + 1, 0);
+  for (const Slab& slab : slabs_) {
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += slab.histBuckets[def.offset + b];
+    }
+  }
+  return counts;
+}
+
+std::int64_t MetricsRegistry::histTotal(HistId id) const {
+  const std::vector<std::int64_t> counts = histCounts(id);
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts) total += c;
+  return total;
+}
+
+void MetricsRegistry::clear() {
+  for (Slab& slab : slabs_) {
+    std::fill(slab.counters.begin(), slab.counters.end(), 0);
+    std::fill(slab.histBuckets.begin(), slab.histBuckets.end(), 0);
+  }
+  std::fill(gauges_.begin(), gauges_.end(), 0.0);
+}
+
+void MetricsRegistry::reset() {
+  counterNames_.clear();
+  gaugeNames_.clear();
+  hists_.clear();
+  histSlots_ = 0;
+  gauges_.clear();
+  slabs_.clear();
+  configureShards(1);
+}
+
+report::Json MetricsRegistry::toJson() const {
+  report::Json counters = report::Json::object();
+  for (std::size_t i = 0; i < counterNames_.size(); ++i) {
+    counters.set(counterNames_[i], counterValue(CounterId{static_cast<std::int32_t>(i)}));
+  }
+  report::Json gauges = report::Json::object();
+  for (std::size_t i = 0; i < gaugeNames_.size(); ++i) {
+    gauges.set(gaugeNames_[i], gauges_[i]);
+  }
+  report::Json hists = report::Json::object();
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    const HistDef& def = hists_[i];
+    report::Json bounds = report::Json::array();
+    for (const std::int64_t b : def.bounds) bounds.push(b);
+    const auto id = HistId{static_cast<std::int32_t>(i)};
+    report::Json counts = report::Json::array();
+    for (const std::int64_t c : histCounts(id)) counts.push(c);
+    report::Json h = report::Json::object();
+    h.set("bounds", std::move(bounds));
+    h.set("counts", std::move(counts));
+    h.set("total", histTotal(id));
+    hists.set(def.name, std::move(h));
+  }
+  report::Json j = report::Json::object();
+  j.set("counters", std::move(counters));
+  j.set("gauges", std::move(gauges));
+  j.set("histograms", std::move(hists));
+  return j;
+}
+
+}  // namespace rlslb::obs

@@ -1,0 +1,50 @@
+#include "obs/probe.hpp"
+
+#include "util/assert.hpp"
+
+namespace rlslb::obs {
+
+ProcessProbe::ProcessProbe(MetricsRegistry* metrics, TraceWriter* trace, Options options)
+    : metrics_(metrics), trace_(trace), options_(std::move(options)) {
+  RLSLB_ASSERT_MSG(metrics_ != nullptr, "ProcessProbe needs a MetricsRegistry");
+  RLSLB_ASSERT_MSG(options_.stride >= 1, "ProcessProbe stride must be >= 1");
+  const std::string& p = options_.prefix;
+  eventsId_ = metrics_->counter(p + ".events");
+  samplesId_ = metrics_->counter(p + ".samples");
+  gapId_ = metrics_->gauge(p + ".gap");
+  overloadId_ = metrics_->gauge(p + ".overloaded_balls");
+  movesId_ = metrics_->gauge(p + ".moves");
+  clockId_ = metrics_->gauge(p + ".clock");
+  gapHistId_ = metrics_->histogram(p + ".gap_hist", {0, 1, 2, 4, 8, 16, 32, 64, 128});
+}
+
+void ProcessProbe::onEvent(const process::Process& process) {
+  ++events_;
+  if (events_ % options_.stride != 0) return;
+  sample(process);
+}
+
+void ProcessProbe::sample(const process::Process& process) {
+  const sim::BalanceState& s = process.state();
+  const std::int64_t gap = s.maxLoad - s.minLoad;
+  metrics_->add(samplesId_, 1);
+  metrics_->observe(gapHistId_, gap);
+  metrics_->set(gapId_, static_cast<double>(gap));
+  metrics_->set(overloadId_, static_cast<double>(s.overloadedBalls));
+  metrics_->set(movesId_, static_cast<double>(process.moves()));
+  metrics_->set(clockId_, process.now().value);
+  if (trace_ != nullptr) {
+    const double ts = nowUs();
+    trace_->counter("process.gap", "gap", ts, static_cast<double>(gap));
+    trace_->counter("process.overloaded_balls", "overloaded", ts,
+                    static_cast<double>(s.overloadedBalls));
+    trace_->counter("process.moves", "moves", ts, static_cast<double>(process.moves()));
+  }
+}
+
+void ProcessProbe::finish(const process::Process& process) {
+  metrics_->add(eventsId_, events_);
+  sample(process);
+}
+
+}  // namespace rlslb::obs

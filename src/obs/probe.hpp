@@ -1,0 +1,60 @@
+// ProcessProbe: the standard process::Probe of the telemetry layer.
+//
+// Attach one to process::run to export the trajectory quantities the
+// paper's analysis reasons about -- moves, overload mass, and the gap --
+// into a MetricsRegistry (counters + a gap histogram + final gauges) and,
+// when a TraceWriter is attached, as "C" counter events that render as
+// trajectory lanes in Perfetto.
+//
+// Sampling: onEvent fires after *every* advance() (the Probe contract),
+// so the per-event work is one increment; the O(1)-but-not-free state
+// reads happen every `stride` events only. finish() records the final
+// sample regardless of stride alignment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "process/process.hpp"
+
+namespace rlslb::obs {
+
+class ProcessProbe final : public process::Probe {
+ public:
+  struct Options {
+    std::int64_t stride = 256;  // events between samples (>= 1)
+    /// Metric name prefix, e.g. "process.rls" -> "process.rls.gap".
+    std::string prefix = "process";
+  };
+
+  /// `metrics` may not be null; `trace` may be (metrics-only probing).
+  ProcessProbe(MetricsRegistry* metrics, TraceWriter* trace, Options options);
+
+  void onEvent(const process::Process& process) override;
+
+  /// Record the final state (gauges + one last trace sample). Call once
+  /// after process::run returns.
+  void finish(const process::Process& process);
+
+  [[nodiscard]] std::int64_t eventsSeen() const { return events_; }
+
+ private:
+  void sample(const process::Process& process);
+
+  MetricsRegistry* metrics_;
+  TraceWriter* trace_;
+  Options options_;
+  std::int64_t events_ = 0;
+
+  CounterId eventsId_;
+  CounterId samplesId_;
+  GaugeId gapId_;
+  GaugeId overloadId_;
+  GaugeId movesId_;
+  GaugeId clockId_;
+  HistId gapHistId_;
+};
+
+}  // namespace rlslb::obs

@@ -1,0 +1,149 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+#include "report/json.hpp"
+#include "util/assert.hpp"
+
+namespace rlslb::obs {
+
+double nowUs() noexcept {
+  // Process-wide steady epoch: all writers (and the metrics phase timers)
+  // share one time origin, so timestamps from different writers in one
+  // process line up on the same Perfetto timeline.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   epoch)
+      .count();
+}
+
+#if RLSLB_TRACING
+
+namespace {
+thread_local int tCurrentTrack = 0;
+}  // namespace
+
+int currentTrack() noexcept { return tCurrentTrack; }
+void setCurrentTrack(int track) noexcept { tCurrentTrack = track < 0 ? 0 : track; }
+
+TraceWriter::TraceWriter(int maxTracks) {
+  RLSLB_ASSERT_MSG(maxTracks >= 1, "TraceWriter needs at least one track");
+  tracks_.resize(static_cast<std::size_t>(maxTracks));
+}
+
+TraceWriter::Track& TraceWriter::trackForCurrentThread() {
+  // Clamp rather than assert: a pool larger than maxTracks folds its
+  // overflow workers onto the last track instead of crashing a run that
+  // only wanted a trace.
+  auto t = static_cast<std::size_t>(tCurrentTrack);
+  if (t >= tracks_.size()) t = tracks_.size() - 1;
+  return tracks_[t];
+}
+
+void TraceWriter::complete(const char* name, const char* cat, double beginUs,
+                           double endUs) {
+  Track& track = trackForCurrentThread();
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ts = beginUs;
+  e.dur = endUs >= beginUs ? endUs - beginUs : 0.0;
+  e.ph = 'X';
+  track.events.push_back(e);
+}
+
+void TraceWriter::counter(const char* name, const char* key, double tsUs, double value) {
+  Track& track = trackForCurrentThread();
+  Event e;
+  e.name = name;
+  e.cat = key;
+  e.ts = tsUs;
+  e.value = value;
+  e.ph = 'C';
+  track.events.push_back(e);
+}
+
+void TraceWriter::setTrackName(int track, std::string name) {
+  if (track < 0 || static_cast<std::size_t>(track) >= tracks_.size()) return;
+  tracks_[static_cast<std::size_t>(track)].name = std::move(name);
+}
+
+std::size_t TraceWriter::eventCount() const {
+  std::size_t total = 0;
+  for (const Track& t : tracks_) total += t.events.size();
+  return total;
+}
+
+bool TraceWriter::writeTo(std::ostream& out) const {
+  // One process ("rlslb"), one thread track per recording thread. Events
+  // serialize track-by-track; Perfetto orders by timestamp itself.
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const report::Json& j) {
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << j.dump();
+  };
+  {
+    report::Json meta = report::Json::object();
+    meta.set("ph", "M");
+    meta.set("name", "process_name");
+    meta.set("pid", 1);
+    report::Json args = report::Json::object();
+    args.set("name", "rlslb");
+    meta.set("args", std::move(args));
+    emit(meta);
+  }
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    const Track& track = tracks_[t];
+    if (track.events.empty() && track.name.empty()) continue;
+    report::Json meta = report::Json::object();
+    meta.set("ph", "M");
+    meta.set("name", "thread_name");
+    meta.set("pid", 1);
+    meta.set("tid", static_cast<std::int64_t>(t));
+    report::Json args = report::Json::object();
+    args.set("name", !track.name.empty()
+                         ? track.name
+                         : (t == 0 ? std::string("main")
+                                   : "worker " + std::to_string(t)));
+    meta.set("args", std::move(args));
+    emit(meta);
+    for (const Event& e : track.events) {
+      report::Json j = report::Json::object();
+      j.set("ph", std::string(1, e.ph));
+      j.set("name", e.name);
+      j.set("pid", 1);
+      j.set("tid", static_cast<std::int64_t>(t));
+      j.set("ts", e.ts);
+      if (e.ph == 'X') {
+        j.set("cat", e.cat);
+        j.set("dur", e.dur);
+      } else {  // 'C'
+        report::Json args = report::Json::object();
+        args.set(e.cat, e.value);
+        j.set("args", std::move(args));
+      }
+      emit(j);
+    }
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+bool TraceWriter::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  return writeTo(out);
+}
+
+void TraceWriter::clear() {
+  for (Track& t : tracks_) t.events.clear();
+}
+
+#endif  // RLSLB_TRACING
+
+}  // namespace rlslb::obs

@@ -160,6 +160,16 @@ void ResultSink::writeThroughput(const std::string& scenario, std::int64_t event
   writeLine(j);
 }
 
+void ResultSink::writeMetrics(const std::string& scenario, const Json& snapshot) {
+  if (out_ == nullptr) return;
+  RLSLB_ASSERT_MSG(snapshot.isObject(), "metrics snapshot must be a JSON object");
+  Json rec = Json::object();
+  rec.set("type", "metrics");
+  rec.set("scenario", scenario);
+  for (const std::string& key : snapshot.keys()) rec.set(key, snapshot.at(key));
+  writeLine(rec);
+}
+
 void ResultSink::endScenario(const std::string& name, double wallSeconds) {
   if (out_ == nullptr) return;
   Json j = Json::object();

@@ -13,13 +13,19 @@
 //                                      dependent by nature)
 //   {"type":"throughput", ...}         scenario events/sec (the serving
 //                                      scenarios' CI-gated rate metric)
+//   {"type":"metrics", ...}            merged obs::MetricsRegistry snapshot
+//                                      (counters/gauges/histograms; the
+//                                      phase-timing source for
+//                                      scripts/perf_report.py)
 //   {"type":"scenario_end", ...}       scenario wall-clock seconds
 //
 // Determinism contract (asserted by tests/test_scenario.cpp and relied on
 // by CI's results diff): for a fixed seed, every "scenario_start" and
 // "table" record is byte-identical across runs, thread counts, and
 // machines; all wall-clock and host-dependent data is confined to
-// "manifest", "timing", "throughput", and "scenario_end" records.
+// "manifest", "timing", "throughput", "metrics", and "scenario_end"
+// records ("metrics" carries phase nanoseconds, so the whole record type
+// is excluded even though its semantic counters are deterministic).
 //
 // The sink is not thread-safe; scenarios run sequentially and emit tables
 // from the calling thread (replication fan-out stays below this layer).
@@ -87,6 +93,11 @@ class ResultSink {
   /// Wall-clock derived, hence excluded from the determinism contract.
   void writeThroughput(const std::string& scenario, std::int64_t events,
                        double eventsPerSec);
+  /// Telemetry snapshot (type "metrics"): `snapshot` is
+  /// obs::MetricsRegistry::toJson() -- its counters/gauges/histograms keys
+  /// are spliced into the record. Wall-clock-bearing (phase ns counters),
+  /// hence excluded from the determinism contract.
+  void writeMetrics(const std::string& scenario, const Json& snapshot);
   void endScenario(const std::string& name, double wallSeconds);
 
   /// Escape hatch: write an arbitrary record (must be an object; a "type"

@@ -16,7 +16,12 @@ ThreadPool::ThreadPool(int numThreads) {
   const int total = resolveThreadCount(numThreads);
   workers_.reserve(static_cast<std::size_t>(total - 1));
   for (int t = 0; t + 1 < total; ++t) {
-    workers_.emplace_back([this] { workerLoop(); });
+    // Workers own obs trace tracks 1..N for life (track 0 is the calling
+    // thread); with tracing compiled out setCurrentTrack is a no-op stub.
+    workers_.emplace_back([this, t] {
+      obs::setCurrentTrack(t + 1);
+      workerLoop();
+    });
   }
 }
 
@@ -47,6 +52,20 @@ void ThreadPool::workerLoop() {
 }
 
 void ThreadPool::runChunks() {
+  // One span per thread participation when a writer is attached. Workers
+  // that wake to an already-drained job record a near-zero span -- that
+  // is the honest wake-up cost, not noise to hide.
+  obs::TraceWriter* const tw = traceWriter_;
+  if (tw == nullptr) {
+    claimChunks();
+    return;
+  }
+  const double begin = obs::nowUs();
+  claimChunks();
+  tw->complete(traceLabel_, "job", begin, obs::nowUs());
+}
+
+void ThreadPool::claimChunks() {
   for (;;) {
     if (abort_.load(std::memory_order_relaxed)) return;
     if (token_ != nullptr && token_->cancelled()) return;
@@ -77,7 +96,9 @@ void ThreadPool::parallelFor(std::int64_t count, const std::function<void(std::i
 
   if (workers_.empty()) {
     // Serial path: run inline so exceptions propagate directly and callers
-    // with thread-unsafe bodies see no concurrency at all.
+    // with thread-unsafe bodies see no concurrency at all. Traced the
+    // same way as a worker participation (null writer = no-op).
+    const obs::Span span(traceWriter_, traceLabel_, "job");
     for (std::int64_t i = 0; i < count; ++i) {
       if (token != nullptr && token->cancelled()) return;
       body(i);

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace rlslb::runner {
 
 /// Cooperative cancellation flag. Pass one to parallelFor to stop handing
@@ -81,9 +83,27 @@ class ThreadPool {
   /// 0 (or negative) -> hardware concurrency, never less than 1.
   static int resolveThreadCount(int requested);
 
+  /// Attach a trace writer: every subsequent parallelFor records one span
+  /// per participating thread on that thread's track (workers own tracks
+  /// 1..N; the calling thread records on its own current track). nullptr
+  /// detaches. Costs one pointer test per *job* when detached; with
+  /// tracing compiled out (RLSLB_TRACING=0) the recording calls are
+  /// no-op stubs. Set from the dispatching thread only, between jobs.
+  void setTraceWriter(obs::TraceWriter* writer) { traceWriter_ = writer; }
+  [[nodiscard]] obs::TraceWriter* traceWriter() const { return traceWriter_; }
+
+  /// Label for subsequent jobs' spans. Must point to static-storage text
+  /// (a string literal); the phases of the serving loop relabel per
+  /// dispatch ("decide", "drain").
+  void setTraceLabel(const char* label) {
+    traceLabel_ = label != nullptr ? label : "parallelFor";
+  }
+  [[nodiscard]] const char* traceLabel() const { return traceLabel_; }
+
  private:
   void workerLoop();
-  void runChunks();
+  void runChunks();    // claimChunks + optional per-participation span
+  void claimChunks();  // the chunk-claiming loop proper
 
   std::vector<std::thread> workers_;
 
@@ -98,6 +118,10 @@ class ThreadPool {
   std::atomic<bool> jobInFlight_{false};  // reentrancy/concurrent-call detector
   std::exception_ptr error_;
   std::mutex errorMutex_;
+
+  // Published to workers with the job slot (generation bump under mutex_).
+  obs::TraceWriter* traceWriter_ = nullptr;
+  const char* traceLabel_ = "parallelFor";
 
   std::mutex mutex_;
   std::condition_variable workCv_;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "config/generators.hpp"
+#include "obs/probe.hpp"
 #include "process/registry.hpp"
 #include "process/replicate.hpp"
 #include "rng/splitmix64.hpp"
@@ -67,6 +68,7 @@ void runProcessCompare(ScenarioContext& ctx) {
   const double horizon = ctx.params.getDouble("horizon", 50.0);
   const std::int64_t budget = ctx.params.getInt("budget", 50'000'000);
   const std::int64_t reps = ctx.repsOr(10);
+  const bool instrument = ctx.params.getBool("probe", false) || ctx.trace != nullptr;
 
   std::vector<std::string> kinds = util::splitCsv(ctx.params.getString("process", "rls"));
   if (kinds.size() == 1 && kinds[0] == "all") {
@@ -135,6 +137,21 @@ void runProcessCompare(ScenarioContext& ctx) {
         kind, start, params, target, limits, reps,
         ctx.seed ^ stableHash("process_compare:" + kind), ctx.pool(), registry);
 
+    // Telemetry: probe=1 (or a driver-wide --trace-out) runs ONE extra
+    // instrumented replication per kind through obs::ProcessProbe, so the
+    // gated comparison reps above never pay the sampling cost. Exports
+    // process.<kind>.{events,samples,gap,overloaded_balls,moves,clock} and,
+    // when tracing, trajectory counter lanes for Perfetto.
+    if (instrument) {
+      const auto traced =
+          registry.make(kind, start, ctx.seed ^ stableHash("probe:" + kind), params);
+      obs::ProcessProbe::Options probeOptions;
+      probeOptions.prefix = "process." + kind;
+      obs::ProcessProbe telemetry(&ctx.metrics, ctx.trace, probeOptions);
+      (void)process::run(*traced, target, limits, &telemetry);
+      telemetry.finish(*traced);
+    }
+
     std::vector<double> at(runs.size());
     std::vector<double> events(runs.size());
     std::vector<double> moves(runs.size());
@@ -192,6 +209,9 @@ void registerProcessCompare(ScenarioRegistry& r) {
           {"x", "int", "0", "x for target=x (0 = perfect balance)"},
           {"horizon", "double", "50", "time horizon for target=time"},
           {"budget", "int", "5e7", "event budget per replication (rounds capped at 1e5)"},
+          {"probe", "bool", "0",
+           "1 = run one extra instrumented replication per kind (process.* metrics; "
+           "implied by --trace-out)"},
           {"gap", "int", "per kind", "forwarded to rls_naive/graph_rls/open"},
           {"threshold", "int", "floor(m/n)", "forwarded to threshold"},
           {"p", "double", "0.5", "forwarded to threshold"},

@@ -17,7 +17,8 @@
 // lambda (arrivals/bin/time), mu (departure rate), resample (RLS clock
 // rate), weight (background ball weight), record=FILE (tee the trace to
 // JSONL), trace=FILE (replay a recorded JSONL trace instead of
-// generating). Kind-specific params are listed at each builder.
+// generating), trace_out=FILE (write a Chrome/Perfetto trace of the loop's
+// phases). Kind-specific params are listed at each builder.
 #include <algorithm>
 #include <cmath>
 #include <fstream>
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "scenario/builtin/builtin.hpp"
 #include "util/assert.hpp"
@@ -107,6 +109,23 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
   const std::string replayPath = ctx.params.getString("trace", "");
   const std::string recordPath = ctx.params.getString("record", "");
 
+  // Telemetry: the loop exports its counters/phase timings into the run's
+  // registry; runOne emits the merged snapshot as a "metrics" record.
+  loopOptions.metrics = &ctx.metrics;
+  // Tracing: the driver-wide --trace-out writer if attached, or a
+  // scenario-local one when the trace_out= param asks for a per-run file.
+  const std::string traceOutPath = ctx.params.getString("trace_out", "");
+  obs::TraceWriter localTrace;
+  loopOptions.trace = ctx.trace;
+  if (!traceOutPath.empty()) {
+    if (obs::kTracingCompiledIn) {
+      loopOptions.trace = &localTrace;
+    } else {
+      ctx.note("trace_out=" + traceOutPath +
+               " ignored: tracing is compiled out (build with -DRLSLB_TRACING=ON)");
+    }
+  }
+
   // Trace source: generated (optionally tee'd to JSONL), or replayed.
   const std::uint64_t traceSeed = rng::streamSeed(ctx.seed, stableHash("trace:" + kind));
   std::unique_ptr<workload::TraceGenerator> generated;
@@ -179,6 +198,12 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
       });
   const auto& c = allocator.counters();
 
+  if (loopOptions.trace == &localTrace) {
+    RLSLB_ASSERT_MSG(localTrace.writeFile(traceOutPath), "cannot write trace_out= file");
+    ctx.note("[trace] " + std::to_string(localTrace.eventCount()) + " events -> " +
+             traceOutPath + "  (load in ui.perfetto.dev or chrome://tracing)");
+  }
+
   ctx.emitTable(trajectory, "[serve] " + kind + " gap trajectory, n=" + std::to_string(n) +
                                 " (checkpoint epochs; gap = max - min bin load)");
 
@@ -235,8 +260,8 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
       .cell(meanNs, 4)
       .cell(p99Ns, 4)
       .cell(loop.usesPartitionedApply() ? "partitioned" : "fused")
-      .cell(runResult.queuedOps)
-      .cell(runResult.crossShardOps);
+      .cell(runResult.queue.queuedOps)
+      .cell(runResult.queue.crossShardOps);
   ctx.emitTimingTable(timing, "[serve] " + kind +
                                   " loop throughput (decision+apply+repair wall-clock; "
                                   "trace generation excluded)");
@@ -344,8 +369,8 @@ void runServeScaling(ScenarioContext& ctx) {
           .cell(shards > 1 ? "partitioned" : "fused")
           .cell(runResult.wallSeconds, 4)
           .cell(eventsPerSec, 6)
-          .cell(runResult.queuedOps)
-          .cell(runResult.crossShardOps)
+          .cell(runResult.queue.queuedOps)
+          .cell(runResult.queue.crossShardOps)
           .cell(singleShardEps > 0.0 ? eventsPerSec / singleShardEps : 0.0, 3);
       if (ctx.sink != nullptr) {
         // append chain, not operator+: GCC 12 -Wrestrict false positive
@@ -398,6 +423,8 @@ void registerServe(ScenarioRegistry& r) {
       {"weight", "int", "1", "background ball weight"},
       {"record", "string", "(off)", "tee the generated trace to this JSONL file"},
       {"trace", "string", "(off)", "replay a recorded JSONL trace instead of generating"},
+      {"trace_out", "string", "(off)",
+       "write a Chrome/Perfetto trace of this run's phases to FILE"},
   };
   const auto add = [&](const std::string& kind, const std::string& what,
                        std::vector<process::ParamSpec> extra) {

@@ -65,6 +65,39 @@ bool ResultOutput::attach(const std::string& outPath, ScenarioContext& ctx) {
   return true;
 }
 
+void TraceOutput::attach(const std::string& tracePath, ScenarioContext& ctx) {
+  if (tracePath.empty()) return;
+  if (!obs::kTracingCompiledIn) {
+    std::fprintf(stderr,
+                 "--trace-out=%s ignored: tracing is compiled out (build with "
+                 "-DRLSLB_TRACING=ON)\n",
+                 tracePath.c_str());
+    return;
+  }
+  path_ = tracePath;
+  ctx.trace = &writer_;
+  // Job spans for every parallelFor of the run (replication fan-outs, the
+  // serve phases relabel on top); workers were assigned tracks at pool
+  // construction, which ctx.pool() forces here if it has not happened yet.
+  ctx.pool().setTraceWriter(&writer_);
+  active_ = true;
+}
+
+bool TraceOutput::finish(ScenarioContext& ctx) {
+  if (!active_) return true;
+  ctx.pool().setTraceWriter(nullptr);
+  ctx.trace = nullptr;
+  if (!writer_.writeFile(path_)) {
+    std::fprintf(stderr, "cannot write --trace-out=%s\n", path_.c_str());
+    return false;
+  }
+  if (ctx.console != nullptr) {
+    *ctx.console << "[trace] " << writer_.eventCount() << " events -> " << path_
+                 << "  (load in ui.perfetto.dev or chrome://tracing)\n";
+  }
+  return true;
+}
+
 int runStandalone(int argc, char** argv, const std::string& scenarioName) {
   // Split bare key=value tokens (parameter overrides) from --flags before
   // CliArgs sees them; CliArgs insists on the -- prefix.
@@ -88,6 +121,7 @@ int runStandalone(int argc, char** argv, const std::string& scenarioName) {
   applyParamTokens(ctx, paramTokens);
 
   const std::string outPath = args.getString("out", "");
+  const std::string tracePath = args.getString("trace-out", "");
   const auto unused = args.unusedKeys();
   if (!unused.empty()) {
     for (const auto& k : unused) std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
@@ -95,6 +129,8 @@ int runStandalone(int argc, char** argv, const std::string& scenarioName) {
   }
   ResultOutput out;
   if (!out.attach(outPath, ctx)) return 2;
+  TraceOutput traceOut;
+  traceOut.attach(tracePath, ctx);
 
   registerBuiltinScenarios();
   const ScenarioRegistry& registry = ScenarioRegistry::global();
@@ -105,6 +141,7 @@ int runStandalone(int argc, char** argv, const std::string& scenarioName) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  if (!traceOut.finish(ctx)) return 2;
 
   const auto unusedParams = ctx.params.unusedKeys();
   if (!unusedParams.empty()) {

@@ -54,6 +54,23 @@ class ResultOutput {
   report::ResultSink sink_;
 };
 
+/// Caller-owned holder for the --trace-out= writer (must outlive the
+/// scenario runs). attach() with a non-empty path wires ctx.trace and the
+/// shared pool's job spans; when tracing is compiled out (RLSLB_TRACING=0)
+/// it warns on stderr and stays detached, so the flag is accepted but
+/// inert. finish() serializes the Chrome trace-event JSON after the runs
+/// (false + stderr message on IO failure; true when never attached).
+class TraceOutput {
+ public:
+  void attach(const std::string& tracePath, ScenarioContext& ctx);
+  bool finish(ScenarioContext& ctx);
+
+ private:
+  std::string path_;
+  obs::TraceWriter writer_;
+  bool active_ = false;
+};
+
 /// Entry point for the thin standalone bench_* mains: parse the common
 /// knobs + --out + key=value overrides from argv, register the built-in
 /// roster, run `scenarioName`, and return the process exit code.

@@ -78,10 +78,18 @@ void ScenarioRegistry::runOne(const std::string& name, ScenarioContext& ctx) con
     ctx.sink->beginScenario(s->name, s->paperRef, ctx.params.toJson());
   }
 
+  // Per-scenario telemetry: the registry starts empty (no stale
+  // instruments from the previous scenario) and its merged snapshot lands
+  // right before the scenario_end record when anything registered.
+  ctx.metrics.reset();
+
   WallTimer wall;
   s->run(ctx);
   const double seconds = wall.seconds();
 
+  if (ctx.sink != nullptr && !ctx.metrics.empty()) {
+    ctx.sink->writeMetrics(s->name, ctx.metrics.toJson());
+  }
   if (ctx.sink != nullptr) ctx.sink->endScenario(s->name, seconds);
   if (ctx.console != nullptr) {
     char buf[64];

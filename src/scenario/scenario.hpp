@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "process/params.hpp"
 #include "report/result_sink.hpp"
 #include "runner/thread_pool.hpp"
@@ -44,6 +46,16 @@ struct ScenarioContext {
   report::ResultSink* sink = nullptr;  // may be null (console-only run)
   ScenarioParams params;
   std::ostream* console = &std::cout;  // null = fully quiet (tests)
+
+  /// The run's telemetry registry (src/obs/): scenarios wire it into their
+  /// subsystems (e.g. serve::LoopOptions.metrics); runOne resets it per
+  /// scenario and, when non-empty after the body, emits the merged
+  /// snapshot as a {"type":"metrics"} record to the sink.
+  obs::MetricsRegistry metrics;
+  /// Non-null when the driver runs with --trace-out= (and tracing is
+  /// compiled in): scenarios with traceable subsystems attach it (the
+  /// harness also attaches it to the shared pool for job spans).
+  obs::TraceWriter* trace = nullptr;
 
   /// Set by ScenarioRegistry::runOne for the duration of the run; sink
   /// records are tagged with it.

@@ -58,6 +58,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 #include "serve/migration_queue.hpp"
 #include "serve/online_allocator.hpp"
@@ -80,6 +82,27 @@ struct LoopOptions {
   int repairMovesPerEpoch = 4;      // cross-shard repair activations
   std::uint64_t seed = 1;           // decision + repair stream base
   ApplyMode applyMode = ApplyMode::kAuto;
+  /// Optional telemetry (see src/obs/). Metrics export happens at epoch
+  /// boundaries only (slab writes + a handful of clock reads per epoch);
+  /// the per-event hot path is untouched, so the steady-state
+  /// zero-allocation and byte-determinism contracts hold with metrics
+  /// attached (pinned by tests/test_obs.cpp). The trace writer records
+  /// phase spans; attaching it also relabels the pool's job spans per
+  /// phase for the duration of run().
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
+};
+
+/// Execution observations of the apply phase's queue machinery, shared by
+/// EpochStats (per epoch) and RunResult (cumulative; queuePeak is the max
+/// over epochs). With LoopOptions.metrics attached the same values are
+/// exported under the serve.* counter vocabulary -- this struct is the
+/// in-process view, the registry the reporting one.
+struct QueueStats {
+  int applyShards = 1;             // ownership shards the apply phase ran with
+  std::int64_t queuedOps = 0;      // BinOps queued (0 on the fused path)
+  std::int64_t crossShardOps = 0;  // queued ops that crossed an ownership boundary
+  std::int64_t queuePeak = 0;      // deepest single (from, to) queue
 };
 
 /// Per-epoch observation passed to the run() callback. The fields above
@@ -96,14 +119,28 @@ struct EpochStats {
   std::int64_t migrations = 0;  // cumulative accepted migrations
 
   double wallSeconds = 0.0;     // decision+apply+repair wall-clock (see contract)
-  int applyShards = 1;          // ownership shards the apply phase ran with
-  std::int64_t queuedOps = 0;   // BinOps queued this epoch (0 on the fused path)
-  std::int64_t crossShardOps = 0;  // queued ops that crossed an ownership boundary
-  std::int64_t queuePeak = 0;   // deepest single (from, to) queue this epoch
+  QueueStats queue;             // this epoch's queue machinery observations
 
   /// max - min bin load after the epoch (derived; single source of truth
   /// is `balance`).
   [[nodiscard]] std::int64_t gap() const { return balance.maxLoad - balance.minLoad; }
+
+  // Deprecated spellings of the folded queue stats: these were loose
+  // fields before the obs layer unified the counter vocabulary. Read
+  // `queue.<field>` instead.
+  [[deprecated("read queue.applyShards")]] [[nodiscard]] int applyShards() const {
+    return queue.applyShards;
+  }
+  [[deprecated("read queue.queuedOps")]] [[nodiscard]] std::int64_t queuedOps() const {
+    return queue.queuedOps;
+  }
+  [[deprecated("read queue.crossShardOps")]] [[nodiscard]] std::int64_t crossShardOps()
+      const {
+    return queue.crossShardOps;
+  }
+  [[deprecated("read queue.queuePeak")]] [[nodiscard]] std::int64_t queuePeak() const {
+    return queue.queuePeak;
+  }
 };
 
 class ShardedEventLoop {
@@ -115,8 +152,17 @@ class ShardedEventLoop {
     std::int64_t events = 0;
     std::int64_t epochs = 0;
     double wallSeconds = 0.0;  // exact sum of per-epoch wallSeconds
-    std::int64_t queuedOps = 0;      // cumulative (execution stat)
-    std::int64_t crossShardOps = 0;  // cumulative (execution stat)
+    /// Cumulative queue machinery stats (queuePeak = max over epochs).
+    QueueStats queue;
+
+    // Deprecated spellings (see EpochStats): read `queue.<field>`.
+    [[deprecated("read queue.queuedOps")]] [[nodiscard]] std::int64_t queuedOps() const {
+      return queue.queuedOps;
+    }
+    [[deprecated("read queue.crossShardOps")]] [[nodiscard]] std::int64_t
+    crossShardOps() const {
+      return queue.crossShardOps;
+    }
   };
 
   /// Drain the trace. `onEpoch` (may be empty) fires after each epoch.
@@ -131,12 +177,28 @@ class ShardedEventLoop {
   [[nodiscard]] bool usesPartitionedApply() const;
 
  private:
+  /// Handles into LoopOptions.metrics, registered on the first run() so a
+  /// reused loop's steady-state runs perform no name lookups (and no
+  /// string allocations) at all.
+  struct MetricIds {
+    obs::CounterId events, epochs;
+    obs::CounterId arrivals, departures, resamples, migrations, rejectedMoves;
+    obs::CounterId repairAttempts, repairMigrations;
+    obs::CounterId queuedOps, crossShardOps, flushedBins, drainedOps;
+    obs::CounterId decideNs, resolveNs, drainNs, applyNs, repairNs, flushNs;
+    obs::GaugeId gap, liveBalls, totalLoad, applyShards, queuePeak;
+    obs::HistId epochGap;
+  };
+  void registerMetrics();
+
   OnlineAllocator* allocator_;
   LoopOptions options_;
   runner::ThreadPool* pool_;
   CrossShardQueues queues_;
   std::int64_t nextOrdinal_ = 0;  // event ordinal (decision streams); reset per run()
   std::int64_t nextEpoch_ = 0;    // repair-stream key; reset per run()
+  MetricIds ids_;
+  bool metricsRegistered_ = false;
 };
 
 }  // namespace rlslb::serve

@@ -358,6 +358,7 @@ void OnlineAllocator::flushShard(Shard& shard) {
     if (after == before) continue;  // net-zero over the batch: nothing to do
     shard.binLoad[local] = after;
     shard.mass.add(local, after - before);
+    ++shard.flushedBins;
   }
   shard.dirty.clear();
 }

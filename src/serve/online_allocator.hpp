@@ -202,6 +202,16 @@ class OnlineAllocator {
   /// for weighted traffic (a gap below the heaviest ball is unreachable).
   [[nodiscard]] std::int64_t maxWeightSeen() const { return maxWeightSeen_; }
   [[nodiscard]] const ServeCounters& counters() const { return counters_; }
+  /// Dirty bins settled with a net-nonzero delta since the last
+  /// configurePartitions (the "real work" part of the deferred flush;
+  /// net-zero dirty entries are skipped and not counted). Summed across
+  /// shards in shard order -- the event loop exports per-epoch deltas as
+  /// the serve.flushed_bins counter.
+  [[nodiscard]] std::int64_t flushedBins() const {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_) total += s.flushedBins;
+    return total;
+  }
 
   /// Internal-consistency scan across every shard, the global load array,
   /// and the router when enabled (O(n + m); tests only).
@@ -230,6 +240,10 @@ class OnlineAllocator {
     std::vector<std::vector<std::int64_t>> binBalls;   // ball ids per bin
     ds::FlatMap64<BallRec> balls;            // balls in this range
     std::vector<std::int32_t> dirty;         // global bins with deferred deltas
+    // Dirty bins whose deferred delta was net-nonzero when settled --
+    // kept per shard because flushShard runs owner-parallel and must not
+    // touch shared counters; flushedBins() merges in shard order.
+    std::int64_t flushedBins = 0;
   };
 
   [[nodiscard]] Shard& shardOf(std::int32_t bin) {

@@ -137,7 +137,9 @@ TEST(FlatMap64, RandomizedDifferentialChurn) {
           const Rec* found = map.find(key);
           const auto it = ref.find(key);
           ASSERT_EQ(found == nullptr, it == ref.end());
-          if (found != nullptr) EXPECT_EQ(*found, it->second);
+          if (found != nullptr) {
+            EXPECT_EQ(*found, it->second);
+          }
           break;
         }
       }

@@ -130,8 +130,8 @@ TEST(ScenarioContext, ScalingHelpers) {
 // --------------------------------------------------- determinism contract
 
 /// JSONL minus the wall-clock record types ("manifest", "timing",
-/// "throughput", "scenario_end"): the part of the stream the contract says
-/// is byte-identical.
+/// "throughput", "metrics", "scenario_end"): the part of the stream the
+/// contract says is byte-identical.
 std::string deterministicRecords(const std::string& jsonl) {
   std::istringstream in(jsonl);
   std::string line;
@@ -142,7 +142,7 @@ std::string deterministicRecords(const std::string& jsonl) {
     EXPECT_TRUE(error.empty()) << error;
     const std::string& type = rec.at("type").asString();
     if (type == "manifest" || type == "timing" || type == "throughput" ||
-        type == "scenario_end") {
+        type == "metrics" || type == "scenario_end") {
       continue;
     }
     out += line;

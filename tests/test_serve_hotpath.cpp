@@ -174,8 +174,9 @@ TEST(MultiRunContract, ReusedLoopMatchesFreshLoopOnTheSecondTrace) {
     EXPECT_EQ(reusedAlloc.liveBalls(), freshAlloc.liveBalls()) << "mode=" << m;
     EXPECT_EQ(reusedResult.events, freshResult.events) << "mode=" << m;
     EXPECT_EQ(reusedResult.epochs, freshResult.epochs) << "mode=" << m;
-    EXPECT_EQ(reusedResult.queuedOps, freshResult.queuedOps) << "mode=" << m;
-    EXPECT_EQ(reusedResult.crossShardOps, freshResult.crossShardOps) << "mode=" << m;
+    EXPECT_EQ(reusedResult.queue.queuedOps, freshResult.queue.queuedOps) << "mode=" << m;
+    EXPECT_EQ(reusedResult.queue.crossShardOps, freshResult.queue.crossShardOps)
+        << "mode=" << m;
     EXPECT_TRUE(reusedAlloc.validate()) << "mode=" << m;
   }
 }

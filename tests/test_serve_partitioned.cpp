@@ -260,7 +260,7 @@ TEST(PartitionedDifferential, ShardCountClampsToBins) {
   ShardedEventLoop loop(allocator, options, pool);
   Outcome got;
   loop.run(*trace, [&](const EpochStats& s) {
-    EXPECT_EQ(s.applyShards, 4);
+    EXPECT_EQ(s.queue.applyShards, 4);
     got.gapTrajectory.push_back(s.gap());
   });
   got.loads = allocator.loads();
@@ -288,16 +288,16 @@ TEST(PartitionedDifferential, QueueStatsAccountForEveryStructuralOp) {
   std::int64_t queuedSum = 0;
   std::int64_t crossSum = 0;
   const auto result = loop.run(*trace, [&](const EpochStats& s) {
-    EXPECT_LE(s.crossShardOps, s.queuedOps);
-    EXPECT_LE(s.queuePeak, s.queuedOps);
-    queuedSum += s.queuedOps;
-    crossSum += s.crossShardOps;
+    EXPECT_LE(s.queue.crossShardOps, s.queue.queuedOps);
+    EXPECT_LE(s.queue.queuePeak, s.queue.queuedOps);
+    queuedSum += s.queue.queuedOps;
+    crossSum += s.queue.crossShardOps;
   });
   const ServeCounters& k = allocator.counters();
-  EXPECT_EQ(result.queuedOps, queuedSum);
-  EXPECT_EQ(result.crossShardOps, crossSum);
-  EXPECT_EQ(result.queuedOps, k.arrivals + k.departures + 2 * k.migrations);
-  EXPECT_GT(result.crossShardOps, 0) << "an 8-shard run must cross boundaries";
+  EXPECT_EQ(result.queue.queuedOps, queuedSum);
+  EXPECT_EQ(result.queue.crossShardOps, crossSum);
+  EXPECT_EQ(result.queue.queuedOps, k.arrivals + k.departures + 2 * k.migrations);
+  EXPECT_GT(result.queue.crossShardOps, 0) << "an 8-shard run must cross boundaries";
 }
 
 TEST(PartitionedDifferential, MidStreamRepartitionPreservesState) {
