@@ -10,6 +10,10 @@
 //                                      `serve poisson` == `run serve_poisson`
 //                                      (kinds: poisson bursty diurnal
 //                                      adversarial; see docs/EXPERIMENTS.md)
+//   rlslb watch <name...> [flags] [k=v]  run with the conformance roster on
+//                                      and a live snapshot line (gap vs the
+//                                      paper envelope, sparkline, anomaly
+//                                      tally) on stdout
 //
 // Flags (any subcommand that runs scenarios):
 //   --scale=small|default|full   coarse size knob (default ~ minutes total)
@@ -19,6 +23,9 @@
 //   --csv                        also print CSV blocks
 //   --out=FILE                   stream JSONL records (manifest + tables +
 //                                timings; schema in docs/EXPERIMENTS.md)
+//   --conformance=on|off|strict  attach the conformance monitor roster to
+//                                every scenario that supports it; strict
+//                                exits 3 on any error-severity anomaly
 //
 // Bare key=value tokens are per-scenario parameter overrides, e.g.
 //   rlslb run e15_trajectory n=4096 horizon=12 --out=r.jsonl
@@ -29,9 +36,11 @@
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/watch.hpp"
 #include "process/registry.hpp"
 #include "scenario/harness.hpp"
 
@@ -49,8 +58,11 @@ int usage(const char* argv0) {
                "       %s all [flags] [key=value...]\n"
                "       %s serve <kind...> [flags] [key=value...]\n"
                "              kinds: poisson bursty diurnal adversarial\n"
-               "              (shorthand for `run serve_<kind>`)\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               "              (shorthand for `run serve_<kind>`)\n"
+               "       %s watch <scenario...> [flags] [key=value...]\n"
+               "              run with conformance monitors on and a live\n"
+               "              gap/anomaly snapshot on stdout\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -185,15 +197,32 @@ int main(int argc, char** argv) {
     return status;
   }
 
+  const bool watchMode = command == "watch";
+  if (watchMode) command = "run";
   if (command != "run" && command != "all") return usage(argv[0]);
   if (command == "run" && names.empty()) {
-    std::fprintf(stderr, "run: no scenario names given (try `%s list`)\n", argv[0]);
+    std::fprintf(stderr, "%s: no scenario names given (try `%s list`)\n",
+                 watchMode ? "watch" : "run", argv[0]);
     return 2;
   }
   if (command == "all" && !names.empty()) return usage(argv[0]);
 
   scenario::ScenarioContext ctx = scenario::contextFromArgs(args);
   scenario::applyParamTokens(ctx, paramTokens);
+
+  // watch = run with the conformance roster defaulted on and a live
+  // renderer observing the monitor set (the observer survives the
+  // per-scenario MonitorSet::clear()).
+  std::unique_ptr<obs::WatchRenderer> watcher;
+  if (watchMode) {
+    ctx.conformanceDefault = true;
+    obs::WatchRenderer::Options wo;
+    wo.envelope.n = ctx.params.getInt("n", ctx.sized(256));
+    wo.envelope.d = static_cast<int>(ctx.params.getInt("d", 2));
+    wo.showBound = names.front().rfind("serve", 0) == 0;
+    watcher = std::make_unique<obs::WatchRenderer>(std::cout, wo);
+    watcher->attach(ctx.monitors);
+  }
 
   const std::string outPath = args.getString("out", "");
   const std::string tracePath = args.getString("trace-out", "");
@@ -220,6 +249,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (watcher) watcher->finish(ctx.monitors);
   if (!traceOut.finish(ctx)) return 2;
 
   // A parameter consumed by none of the scenarios that ran is a typo.
@@ -231,5 +261,5 @@ int main(int argc, char** argv) {
     }
     return 2;
   }
-  return 0;
+  return scenario::conformanceExit(ctx);
 }

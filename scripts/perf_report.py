@@ -2,25 +2,30 @@
 """Render a perf-trajectory dashboard from rlslb results.jsonl runs.
 
 Input is the JSONL stream `rlslb ... --out=results.jsonl` writes (schema
-in docs/EXPERIMENTS.md). The dashboard has three sections:
+in docs/EXPERIMENTS.md). The dashboard has four sections:
 
   1. Per-phase timing -- from each scenario's {"type":"metrics"} record:
      the serve loop's phase counters (serve.phase.<phase>_ns) rendered as
      a table plus a stacked ASCII bar, so "where did the epoch go" is one
      glance. Works on any <prefix>.phase.<name>_ns vocabulary, not just
      serve.
-  2. Counters / gauges / histograms -- the rest of the metrics record:
-     merged counter values, final gauges, and fixed-bucket histograms as
-     compact count rows.
-  3. Perf trajectory -- scenario wall-clocks and events/sec for the
+  2. Counters / gauges / histograms / sketches -- the rest of the metrics
+     record: merged counter values, final gauges, fixed-bucket histograms
+     (with explicit underflow/overflow rows) and streaming quantile
+     sketches as compact rows.
+  3. Conformance -- each scenario's {"type":"conformance"} summary (check
+     and anomaly counts, gap/latency sketch quantiles) plus a table of
+     the individual {"type":"anomaly"} records.
+  4. Perf trajectory -- scenario wall-clocks and events/sec for the
      current run, and, when prior runs are passed with --prior (oldest
-     first, e.g. the sha-keyed CI artifacts), a per-scenario trend line
-     across the rolling window.
+     first, e.g. the sha-keyed CI artifacts), a per-scenario trend table
+     AND an ASCII trend plot across the rolling window with anomaly
+     markers (o = clean run, w = warn-level anomalies, E = error-level).
 
 Everything here is presentation: the gating logic lives in
 scripts/compare_results.py. Typical use:
 
-    rlslb run serve_poisson --out=results.jsonl
+    rlslb run serve_poisson --conformance=on --out=results.jsonl
     scripts/perf_report.py results.jsonl
 
     # CI: current against the last three artifacts
@@ -33,6 +38,8 @@ import json
 import sys
 
 BAR_WIDTH = 40
+PLOT_HEIGHT = 7
+MAX_ANOMALY_ROWS = 20
 
 
 def load_run(path):
@@ -42,7 +49,7 @@ def load_run(path):
     def scen(name):
         return run["scenarios"].setdefault(
             name, {"metrics": None, "wall_s": None, "events_per_sec": None,
-                   "events": None})
+                   "events": None, "conformance": None, "anomalies": []})
 
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
@@ -58,6 +65,10 @@ def load_run(path):
                 run["manifest"] = rec
             elif t == "metrics":
                 scen(rec["scenario"])["metrics"] = rec
+            elif t == "anomaly":
+                scen(rec.get("scenario", "?"))["anomalies"].append(rec)
+            elif t == "conformance":
+                scen(rec["scenario"])["conformance"] = rec
             elif t == "scenario_end":
                 scen(rec["scenario"])["wall_s"] = float(rec["wall_s"])
             elif t == "throughput":
@@ -77,6 +88,24 @@ def fmt_ns(ns):
     if ns >= 1e3:
         return f"{ns / 1e3:.3f} us"
     return f"{ns:.0f} ns"
+
+
+def fmt_si(v):
+    """Compact magnitude label for plot axes (36.8M, 1.2k, 0.43)."""
+    for div, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(v) >= div:
+            return f"{v / div:.1f}{suffix}"
+    return f"{v:.3g}"
+
+
+def anomaly_marker(scenario_data):
+    """One plot marker per run: E > w > o by worst severity present."""
+    severities = {a.get("severity") for a in scenario_data.get("anomalies", [])}
+    if "error" in severities:
+        return "E"
+    if "warn" in severities:
+        return "w"
+    return "o"
 
 
 def phase_rows(counters):
@@ -103,6 +132,22 @@ def print_phase_timing(scenario, counters):
         print(f"    {phase:10} {fmt_ns(ns):>12} {share:7.1%}  {bar}")
 
 
+def print_sketches(scenario, sketches, title="sketches"):
+    live = {k: v for k, v in sketches.items()
+            if isinstance(v, dict) and v.get("count", 0) > 0}
+    if not live:
+        return
+    width = max(max(len(k) for k in live), len("sketch"))
+    print(f"\n  {title} -- {scenario} (streaming quantiles)")
+    print(f"    {'sketch':{width}} {'count':>10} {'min':>10} {'p50':>10}"
+          f" {'p90':>10} {'p99':>10} {'p999':>10} {'max':>10}")
+    for name, s in live.items():
+        print(f"    {name:{width}} {s.get('count', 0):>10,}"
+              f" {s.get('min', 0):>10,} {s.get('p50', 0):>10,}"
+              f" {s.get('p90', 0):>10,} {s.get('p99', 0):>10,}"
+              f" {s.get('p999', 0):>10,} {s.get('max', 0):>10,}")
+
+
 def print_counters(scenario, metrics):
     counters = {k: v for k, v in metrics.get("counters", {}).items()
                 if ".phase." not in k}
@@ -121,17 +166,85 @@ def print_counters(scenario, metrics):
     for name, h in hists.items():
         bounds = h.get("bounds", [])
         counts = h.get("counts", [])
-        total = h.get("total", sum(counts))
+        underflow = h.get("underflow", 0)
+        overflow = h.get("overflow", 0)
+        total = h.get("total", sum(counts) + underflow + overflow)
         if total <= 0:
             continue
         print(f"\n  histogram -- {scenario} {name} (n={total})")
-        labels = [f"<={b}" for b in bounds] + [f">{bounds[-1]}" if bounds else "all"]
-        peak = max(counts) if counts else 0
-        for label, count in zip(labels, counts):
+        rows = []
+        if bounds and underflow > 0:
+            rows.append((f"<{bounds[0]}", underflow))
+        rows += [(f"<={b}", c) for b, c in zip(bounds, counts)]
+        if overflow > 0:
+            rows.append((f">{bounds[-1]}" if bounds else ">all", overflow))
+        peak = max((c for _, c in rows), default=0)
+        for label, count in rows:
             if count == 0:
                 continue
             bar = "#" * max(1, round(count / peak * BAR_WIDTH)) if peak else ""
             print(f"    {label:>8} {count:>10,}  {bar}")
+    print_sketches(scenario, metrics.get("sketches", {}))
+
+
+def print_conformance(scenario, data):
+    conf = data.get("conformance")
+    anomalies = data.get("anomalies", [])
+    if conf is None and not anomalies:
+        return
+    if conf is not None:
+        tallies = conf.get("anomalies", {})
+        print(f"\n  conformance -- {scenario}: {conf.get('checks', 0):,} checks"
+              f" by {conf.get('monitors', 0)} monitors --"
+              f" {tallies.get('warn', 0)} warn, {tallies.get('error', 0)} error"
+              + (f", {tallies.get('dropped', 0)} dropped"
+                 if tallies.get("dropped", 0) else ""))
+        print_sketches(scenario,
+                       {k: conf[k] for k in ("gap", "latency_ns_per_event")
+                        if isinstance(conf.get(k), dict)},
+                       title="conformance sketches")
+    if anomalies:
+        print(f"\n  anomalies -- {scenario} ({len(anomalies)})")
+        print(f"    {'sev':5} {'monitor':17} {'metric':12} {'step':>9}"
+              f" {'value':>12} {'bound':>12}  detail")
+        for a in anomalies[:MAX_ANOMALY_ROWS]:
+            print(f"    {a.get('severity', '?'):5}"
+                  f" {a.get('monitor', '?'):17}"
+                  f" {a.get('metric', '?'):12}"
+                  f" {a.get('step', 0):>9,}"
+                  f" {a.get('value', 0):>12g} {a.get('bound', 0):>12g}"
+                  f"  {a.get('detail', '')}")
+        if len(anomalies) > MAX_ANOMALY_ROWS:
+            print(f"    ... and {len(anomalies) - MAX_ANOMALY_ROWS} more")
+
+
+def print_trend_plot(name, series, markers):
+    """ASCII trend plot: one column per run, marker = anomaly severity."""
+    values = [v for v in series if v is not None]
+    if len(values) < 2:
+        return
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    width = 3 * len(series)
+    grid = [[" "] * width for _ in range(PLOT_HEIGHT)]
+    for i, v in enumerate(series):
+        if v is None:
+            continue
+        frac = (v - lo) / span if span > 0 else 0.5
+        row = (PLOT_HEIGHT - 1) - round(frac * (PLOT_HEIGHT - 1))
+        grid[row][3 * i + 1] = markers[i]
+    label_width = max(len(fmt_si(hi)), len(fmt_si(lo)))
+    print(f"\n  trend -- {name} events/s ({len(series)} runs, oldest -> "
+          "current; o clean, w warn anomalies, E error anomalies)")
+    for r, cells in enumerate(grid):
+        if r == 0:
+            label = fmt_si(hi)
+        elif r == PLOT_HEIGHT - 1:
+            label = fmt_si(lo)
+        else:
+            label = ""
+        print(f"    {label:>{label_width}} |{''.join(cells).rstrip()}")
+    print(f"    {'':>{label_width}} +{'-' * width}")
 
 
 def print_trajectory(current, priors):
@@ -160,6 +273,26 @@ def print_trajectory(current, priors):
                     change = pts[-1] / pts[0] - 1.0
                     row += f"  {change:+6.1%}"
             print(row)
+    if not priors:
+        return
+    # Rolling-window plots: throughput trend per scenario, each run's
+    # column marked by the worst anomaly severity it recorded.
+    for name in names:
+        series = [run["scenarios"].get(name, {}).get("events_per_sec")
+                  for run in runs]
+        markers = [anomaly_marker(run["scenarios"].get(name, {}))
+                   for run in runs]
+        print_trend_plot(name, series, markers)
+        for run, marker in zip(runs, markers):
+            if marker == "o":
+                continue
+            data = run["scenarios"].get(name, {})
+            errors = sum(1 for a in data.get("anomalies", [])
+                         if a.get("severity") == "error")
+            warns = sum(1 for a in data.get("anomalies", [])
+                        if a.get("severity") == "warn")
+            tag = "current" if run is current else run["path"].rsplit("/", 1)[-1]
+            print(f"      [{marker}] {tag}: {errors} error, {warns} warn")
 
 
 def main():
@@ -189,11 +322,11 @@ def main():
 
     if not args.no_metrics:
         for name in sorted(current["scenarios"]):
-            metrics = current["scenarios"][name]["metrics"]
-            if metrics is None:
-                continue
-            print_phase_timing(name, metrics.get("counters", {}))
-            print_counters(name, metrics)
+            data = current["scenarios"][name]
+            if data["metrics"] is not None:
+                print_phase_timing(name, data["metrics"].get("counters", {}))
+                print_counters(name, data["metrics"])
+            print_conformance(name, data)
 
     print_trajectory(current, priors)
 

@@ -1,0 +1,53 @@
+#include "obs/anomaly.hpp"
+
+namespace rlslb::obs {
+
+const char* severityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+report::Json anomalyToJson(const Anomaly& anomaly) {
+  report::Json j = report::Json::object();
+  j.set("monitor", std::string(anomaly.monitor));
+  j.set("metric", std::string(anomaly.metric));
+  j.set("severity", std::string(severityName(anomaly.severity)));
+  j.set("run", static_cast<std::int64_t>(anomaly.run));
+  j.set("step", anomaly.step);
+  j.set("time", anomaly.time);
+  j.set("value", anomaly.value);
+  j.set("bound", anomaly.bound);
+  j.set("detail", std::string(anomaly.detail));
+  return j;
+}
+
+void AnomalyLog::record(const Anomaly& anomaly) {
+  counts_[static_cast<std::size_t>(anomaly.severity)] += 1;
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(anomaly);
+  records_.back().run = runTag_;
+}
+
+void AnomalyLog::clear() {
+  records_.clear();
+  counts_[0] = counts_[1] = counts_[2] = 0;
+  dropped_ = 0;
+  runTag_ = 0;
+}
+
+void AnomalyLog::reserve(std::size_t capacity) {
+  capacity_ = capacity;
+  records_.reserve(capacity);
+}
+
+}  // namespace rlslb::obs

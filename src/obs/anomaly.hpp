@@ -1,0 +1,80 @@
+// Structured anomaly records produced by conformance monitors.
+//
+// Anomaly is a POD whose string fields are `const char*` pointing at
+// static storage (monitor names, fixed detail sentences), so recording
+// one is a struct copy into a preallocated ring -- no allocation on the
+// hot path. AnomalyLog caps its backing vector at construction; records
+// past the cap are counted (dropped()) rather than stored, keeping the
+// steady-state allocation contract intact even for a pathologically
+// noisy run. JSON rendering happens only at report time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "report/json.hpp"
+
+namespace rlslb::obs {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+[[nodiscard]] const char* severityName(Severity severity);
+
+/// One violation. `monitor`, `metric` and `detail` must point at static
+/// storage (string literals / static constants) -- the log stores the
+/// pointers verbatim.
+struct Anomaly {
+  const char* monitor = "";
+  const char* metric = "";
+  const char* detail = "";
+  Severity severity = Severity::kWarn;
+  std::int32_t run = 0;       ///< sub-run tag (MonitorSet::beginRun counter)
+  std::int64_t step = 0;      ///< epoch (serve) or event ordinal (process)
+  double time = 0.0;          ///< simulated clock at the violating sample
+  double value = 0.0;         ///< observed value
+  double bound = 0.0;         ///< violated bound (0 when not applicable)
+};
+
+/// Render one anomaly as the payload half of a {"type":"anomaly"} record.
+[[nodiscard]] report::Json anomalyToJson(const Anomaly& anomaly);
+
+class AnomalyLog {
+ public:
+  explicit AnomalyLog(std::size_t capacity = 256) { reserve(capacity); }
+
+  /// Allocation-free below capacity; beyond it the anomaly is dropped
+  /// (still counted per severity and in dropped()).
+  void record(const Anomaly& anomaly);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const Anomaly& at(std::size_t i) const { return records_[i]; }
+  [[nodiscard]] bool empty() const { return total() == 0; }
+
+  /// Totals include dropped records.
+  [[nodiscard]] std::int64_t infos() const { return counts_[0]; }
+  [[nodiscard]] std::int64_t warnings() const { return counts_[1]; }
+  [[nodiscard]] std::int64_t errors() const { return counts_[2]; }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::int64_t total() const {
+    return counts_[0] + counts_[1] + counts_[2];
+  }
+
+  /// Tag subsequent records (multi-run scenarios stamp which sub-run a
+  /// violation came from).
+  void setRunTag(std::int32_t run) { runTag_ = run; }
+
+  /// Forget records and counts; capacity (and thus the no-alloc
+  /// guarantee) is preserved.
+  void clear();
+
+ private:
+  void reserve(std::size_t capacity);
+
+  std::vector<Anomaly> records_;
+  std::size_t capacity_ = 0;
+  std::int64_t counts_[3] = {0, 0, 0};
+  std::int64_t dropped_ = 0;
+  std::int32_t runTag_ = 0;
+};
+
+}  // namespace rlslb::obs

@@ -55,16 +55,27 @@ HistId MetricsRegistry::histogram(const std::string& name,
   def.name = name;
   def.bounds = bounds;
   def.offset = histSlots_;
-  histSlots_ += bounds.size() + 1;  // + overflow bucket
+  histSlots_ += bounds.size() + 2;  // + underflow and overflow buckets
   hists_.push_back(std::move(def));
   layoutSlabs();
   return HistId{static_cast<std::int32_t>(hists_.size() - 1)};
+}
+
+SketchId MetricsRegistry::sketch(const std::string& name) {
+  std::int32_t idx = indexOf(sketchNames_, name);
+  if (idx < 0) {
+    idx = static_cast<std::int32_t>(sketchNames_.size());
+    sketchNames_.push_back(name);
+    sketches_.emplace_back(shards());
+  }
+  return SketchId{idx};
 }
 
 void MetricsRegistry::configureShards(int shards) {
   RLSLB_ASSERT_MSG(shards >= 1, "MetricsRegistry needs at least one shard");
   slabs_.resize(static_cast<std::size_t>(shards));
   layoutSlabs();
+  for (QuantileSketch& sketch : sketches_) sketch.configureShards(shards);
 }
 
 void MetricsRegistry::layoutSlabs() {
@@ -84,19 +95,35 @@ std::int64_t MetricsRegistry::counterValue(CounterId id) const {
 std::vector<std::int64_t> MetricsRegistry::histCounts(HistId id) const {
   RLSLB_ASSERT(id.valid());
   const HistDef& def = hists_[static_cast<std::size_t>(id.index)];
-  std::vector<std::int64_t> counts(def.bounds.size() + 1, 0);
+  std::vector<std::int64_t> counts(def.bounds.size(), 0);
   for (const Slab& slab : slabs_) {
     for (std::size_t b = 0; b < counts.size(); ++b) {
-      counts[b] += slab.histBuckets[def.offset + b];
+      counts[b] += slab.histBuckets[def.offset + 1 + b];  // skip underflow
     }
   }
   return counts;
 }
 
-std::int64_t MetricsRegistry::histTotal(HistId id) const {
-  const std::vector<std::int64_t> counts = histCounts(id);
+std::int64_t MetricsRegistry::histUnderflow(HistId id) const {
+  RLSLB_ASSERT(id.valid());
+  const HistDef& def = hists_[static_cast<std::size_t>(id.index)];
   std::int64_t total = 0;
-  for (const std::int64_t c : counts) total += c;
+  for (const Slab& slab : slabs_) total += slab.histBuckets[def.offset];
+  return total;
+}
+
+std::int64_t MetricsRegistry::histOverflow(HistId id) const {
+  RLSLB_ASSERT(id.valid());
+  const HistDef& def = hists_[static_cast<std::size_t>(id.index)];
+  const std::size_t slot = def.offset + def.bounds.size() + 1;
+  std::int64_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.histBuckets[slot];
+  return total;
+}
+
+std::int64_t MetricsRegistry::histTotal(HistId id) const {
+  std::int64_t total = histUnderflow(id) + histOverflow(id);
+  for (const std::int64_t c : histCounts(id)) total += c;
   return total;
 }
 
@@ -106,6 +133,7 @@ void MetricsRegistry::clear() {
     std::fill(slab.histBuckets.begin(), slab.histBuckets.end(), 0);
   }
   std::fill(gauges_.begin(), gauges_.end(), 0.0);
+  for (QuantileSketch& sketch : sketches_) sketch.clear();
 }
 
 void MetricsRegistry::reset() {
@@ -115,6 +143,8 @@ void MetricsRegistry::reset() {
   histSlots_ = 0;
   gauges_.clear();
   slabs_.clear();
+  sketchNames_.clear();
+  sketches_.clear();
   configureShards(1);
 }
 
@@ -138,13 +168,20 @@ report::Json MetricsRegistry::toJson() const {
     report::Json h = report::Json::object();
     h.set("bounds", std::move(bounds));
     h.set("counts", std::move(counts));
+    h.set("underflow", histUnderflow(id));
+    h.set("overflow", histOverflow(id));
     h.set("total", histTotal(id));
     hists.set(def.name, std::move(h));
+  }
+  report::Json sketches = report::Json::object();
+  for (std::size_t i = 0; i < sketchNames_.size(); ++i) {
+    sketches.set(sketchNames_[i], sketches_[i].toJson());
   }
   report::Json j = report::Json::object();
   j.set("counters", std::move(counters));
   j.set("gauges", std::move(gauges));
   j.set("histograms", std::move(hists));
+  j.set("sketches", std::move(sketches));
   return j;
 }
 

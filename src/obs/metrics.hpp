@@ -14,12 +14,15 @@
 //     adds need no atomics. Merged values are read only at epoch/round
 //     boundaries (or at report time) by summing slabs in shard-index
 //     order -- a deterministic reduction.
-//   - Three instrument kinds cover the repo's needs: monotonic counters
+//   - Four instrument kinds cover the repo's needs: monotonic counters
 //     (events, migrations, queue ops, per-phase nanoseconds), gauges
 //     (last-observed values: gap, live balls -- written from sequential
-//     sections only), and fixed-bucket histograms (per-epoch gap
-//     distribution; bounds are chosen at registration, the overflow
-//     bucket is implicit).
+//     sections only), fixed-bucket histograms (per-epoch gap
+//     distribution; bounds are chosen at registration, out-of-range
+//     samples land in explicit underflow/overflow buckets rather than
+//     being clamped into the edge buckets), and quantile sketches
+//     (obs/sketch.hpp: HDR-style log-bucketed distributions for values
+//     with no natural fixed bounds, e.g. per-epoch nanoseconds).
 //
 // One registry is owned by ScenarioContext and survives for a whole
 // driver run; ScenarioRegistry::runOne resets it per scenario and emits
@@ -32,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/sketch.hpp"
 #include "report/json.hpp"
 #include "util/assert.hpp"
 
@@ -51,6 +55,10 @@ struct HistId {
   std::int32_t index = -1;
   [[nodiscard]] bool valid() const { return index >= 0; }
 };
+struct SketchId {
+  std::int32_t index = -1;
+  [[nodiscard]] bool valid() const { return index >= 0; }
+};
 
 class MetricsRegistry {
  public:
@@ -64,9 +72,15 @@ class MetricsRegistry {
   CounterId counter(const std::string& name);
   GaugeId gauge(const std::string& name);
   /// `bounds` must be strictly increasing; value v lands in the first
-  /// bucket with v <= bounds[i], or the implicit overflow bucket. A
+  /// bucket with v <= bounds[i]. Out-of-range values are counted in
+  /// explicit underflow (v < bounds.front()) / overflow (v >
+  /// bounds.back()) buckets -- see histUnderflow()/histOverflow() -- so
+  /// no sample is silently clamped into an edge bucket. A
   /// re-registration must repeat the same bounds (asserted).
   HistId histogram(const std::string& name, const std::vector<std::int64_t>& bounds);
+  /// Log-bucketed quantile sketch (obs/sketch.hpp), merged and rendered
+  /// with the rest of the registry snapshot.
+  SketchId sketch(const std::string& name);
 
   /// Size the per-shard slab array (>= 1). Existing shard values are kept
   /// where indices overlap; new shards start at zero. Called by the
@@ -90,11 +104,24 @@ class MetricsRegistry {
   void observeShard(int shard, HistId id, std::int64_t value) {
     RLSLB_HEAVY_ASSERT(id.valid() && shard >= 0 && shard < shards());
     const HistDef& def = hists_[static_cast<std::size_t>(id.index)];
-    std::size_t bucket = 0;
-    while (bucket < def.bounds.size() && value > def.bounds[bucket]) ++bucket;
-    slabs_[static_cast<std::size_t>(shard)].histBuckets[def.offset + bucket] += 1;
+    // Slab layout per histogram: [underflow][bounds.size() buckets][overflow].
+    std::size_t slot = 0;
+    if (value >= def.bounds.front()) {
+      std::size_t bucket = 0;
+      while (bucket < def.bounds.size() && value > def.bounds[bucket]) ++bucket;
+      slot = 1 + bucket;  // bucket == size() -> the overflow slot
+    }
+    slabs_[static_cast<std::size_t>(shard)].histBuckets[def.offset + slot] += 1;
   }
   void observe(HistId id, std::int64_t value) { observeShard(0, id, value); }
+
+  void observeSketchShard(int shard, SketchId id, std::int64_t value) {
+    RLSLB_HEAVY_ASSERT(id.valid());
+    sketches_[static_cast<std::size_t>(id.index)].observeShard(shard, value);
+  }
+  void observeSketch(SketchId id, std::int64_t value) {
+    observeSketchShard(0, id, value);
+  }
 
   /// Gauges are not sharded: set from sequential sections only.
   void set(GaugeId id, double value) {
@@ -117,14 +144,24 @@ class MetricsRegistry {
     RLSLB_HEAVY_ASSERT(id.valid());
     return gauges_[static_cast<std::size_t>(id.index)];
   }
-  /// Merged bucket counts (bounds.size() + 1 entries, overflow last).
+  /// Merged in-range bucket counts (bounds.size() entries).
   [[nodiscard]] std::vector<std::int64_t> histCounts(HistId id) const;
+  /// Out-of-range sample counts.
+  [[nodiscard]] std::int64_t histUnderflow(HistId id) const;
+  [[nodiscard]] std::int64_t histOverflow(HistId id) const;
+  /// Every sample, in-range or not.
   [[nodiscard]] std::int64_t histTotal(HistId id) const;
+  /// Merged sketch view (quantiles, min/max, count).
+  [[nodiscard]] const QuantileSketch& sketchView(SketchId id) const {
+    RLSLB_ASSERT(id.valid());
+    return sketches_[static_cast<std::size_t>(id.index)];
+  }
 
   /// True when nothing has been registered (a scenario that never touched
   /// the registry emits no metrics record).
   [[nodiscard]] bool empty() const {
-    return counterNames_.empty() && gaugeNames_.empty() && hists_.empty();
+    return counterNames_.empty() && gaugeNames_.empty() && hists_.empty() &&
+           sketchNames_.empty();
   }
 
   /// Zero every value, keep registrations and shard layout.
@@ -133,8 +170,9 @@ class MetricsRegistry {
   void reset();
 
   /// Merged snapshot: {"counters":{name:value,...},"gauges":{...},
-  /// "histograms":{name:{"bounds":[...],"counts":[...],"total":N}}} --
-  /// names in registration order (deterministic for a fixed code path).
+  /// "histograms":{name:{"bounds":[...],"counts":[...],"underflow":U,
+  /// "overflow":O,"total":N}},"sketches":{name:{...}}} -- names in
+  /// registration order (deterministic for a fixed code path).
   [[nodiscard]] report::Json toJson() const;
 
  private:
@@ -158,6 +196,8 @@ class MetricsRegistry {
   std::size_t histSlots_ = 0;  // total bucket slots across histograms
   std::vector<double> gauges_;
   std::vector<Slab> slabs_;
+  std::vector<std::string> sketchNames_;
+  std::vector<QuantileSketch> sketches_;  // each carries its own shard slabs
 };
 
 }  // namespace rlslb::obs

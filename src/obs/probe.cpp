@@ -40,6 +40,23 @@ void ProcessProbe::sample(const process::Process& process) {
                     static_cast<double>(s.overloadedBalls));
     trace_->counter("process.moves", "moves", ts, static_cast<double>(process.moves()));
   }
+  // finish() re-samples regardless of stride alignment; don't feed the
+  // monitors the same ordinal twice (the monotone-step invariant).
+  if (options_.monitors != nullptr && events_ != lastCheckStep_) {
+    lastCheckStep_ = events_;
+    const process::Clock clock = process.now();
+    CheckSample check;
+    check.origin = CheckSample::Origin::kProcessStride;
+    check.step = events_;
+    check.time = clock.value;
+    check.events = options_.stride;
+    check.gap = gap;
+    check.liveBalls = s.numBalls;
+    check.totalLoad = s.numBalls;  // process loads are already weight units
+    check.clockKind = static_cast<std::uint8_t>(clock.kind);
+    check.openPopulation = process.capabilities().openSystem;
+    options_.monitors->check(check);
+  }
 }
 
 void ProcessProbe::finish(const process::Process& process) {

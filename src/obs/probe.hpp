@@ -16,6 +16,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "process/process.hpp"
 
@@ -27,6 +28,9 @@ class ProcessProbe final : public process::Probe {
     std::int64_t stride = 256;  // events between samples (>= 1)
     /// Metric name prefix, e.g. "process.rls" -> "process.rls.gap".
     std::string prefix = "process";
+    /// Optional conformance roster (obs/monitor.hpp): fed one
+    /// CheckSample per stride sample (process-stride origin).
+    MonitorSet* monitors = nullptr;
   };
 
   /// `metrics` may not be null; `trace` may be (metrics-only probing).
@@ -47,6 +51,7 @@ class ProcessProbe final : public process::Probe {
   TraceWriter* trace_;
   Options options_;
   std::int64_t events_ = 0;
+  std::int64_t lastCheckStep_ = -1;  // last ordinal fed to the monitors
 
   CounterId eventsId_;
   CounterId samplesId_;

@@ -1,0 +1,104 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlslb::obs {
+
+void QuantileSketch::configureShards(int shards) {
+  RLSLB_ASSERT_MSG(shards >= 1, "QuantileSketch needs at least one shard");
+  slabs_.resize(static_cast<std::size_t>(shards));
+  for (Slab& slab : slabs_) {
+    slab.buckets.resize(static_cast<std::size_t>(kSketchSlots), 0);
+  }
+}
+
+std::int64_t QuantileSketch::count() const {
+  std::int64_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.count;
+  return total;
+}
+
+std::int64_t QuantileSketch::min() const {
+  std::int64_t lo = INT64_MAX;
+  for (const Slab& slab : slabs_) lo = std::min(lo, slab.minValue);
+  return lo == INT64_MAX ? 0 : lo;
+}
+
+std::int64_t QuantileSketch::max() const {
+  std::int64_t hi = INT64_MIN;
+  for (const Slab& slab : slabs_) hi = std::max(hi, slab.maxValue);
+  return hi == INT64_MIN ? 0 : hi;
+}
+
+std::int64_t QuantileSketch::quantile(double q) const {
+  const std::int64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; q=0 is the 1st (min side).
+  const auto target =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total))));
+  std::int64_t cum = 0;
+  for (int b = 0; b < kSketchSlots; ++b) {
+    std::int64_t bucketCount = 0;
+    for (const Slab& slab : slabs_) {
+      bucketCount += slab.buckets[static_cast<std::size_t>(b)];
+    }
+    cum += bucketCount;
+    if (cum >= target) {
+      const std::int64_t lo = sketchBucketLo(b);
+      const std::int64_t hi = sketchBucketHi(b);
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return max();  // unreachable: cum == total covers every target
+}
+
+void QuantileSketch::clear() {
+  for (Slab& slab : slabs_) {
+    std::fill(slab.buckets.begin(), slab.buckets.end(), 0);
+    slab.count = 0;
+    slab.minValue = INT64_MAX;
+    slab.maxValue = INT64_MIN;
+  }
+}
+
+report::Json QuantileSketch::toJson() const {
+  report::Json j = report::Json::object();
+  j.set("count", count());
+  j.set("min", min());
+  j.set("max", max());
+  j.set("p50", quantile(0.50));
+  j.set("p90", quantile(0.90));
+  j.set("p99", quantile(0.99));
+  j.set("p999", quantile(0.999));
+  return j;
+}
+
+bool CusumDetector::update(double x) {
+  if (samples_ < options_.warmup) {
+    // Welford accumulation while the baseline is still being fitted.
+    ++samples_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(samples_);
+    m2_ += delta * (x - mean_);
+    if (samples_ == options_.warmup) {
+      const double variance =
+          samples_ > 1 ? m2_ / static_cast<double>(samples_ - 1) : 0.0;
+      sigma_ = std::sqrt(std::max(variance, 0.0));
+      const double floor = options_.minSigmaFraction * std::abs(mean_);
+      sigma_ = std::max({sigma_, floor, 1e-12});
+    }
+    return false;
+  }
+  ++samples_;
+  const double z = (x - mean_) / sigma_;
+  gPos_ = std::max(0.0, gPos_ + z - options_.slack);
+  gNeg_ = std::max(0.0, gNeg_ - z - options_.slack);
+  const bool crossed =
+      !triggered_ && (gPos_ > options_.threshold || gNeg_ > options_.threshold);
+  if (crossed) triggered_ = true;
+  return crossed;
+}
+
+}  // namespace rlslb::obs

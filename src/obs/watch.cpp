@@ -1,0 +1,105 @@
+#include "obs/watch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace rlslb::obs {
+
+namespace {
+
+/// 10-level ASCII intensity ramp for the sparkline.
+constexpr char kRamp[] = " .:-=+*#%@";
+constexpr int kRampLevels = 9;  // index range [0, 9]
+
+}  // namespace
+
+WatchRenderer::WatchRenderer(std::ostream& out, Options options)
+    : out_(out), options_(options), lastRender_(std::chrono::steady_clock::now()) {
+  options_.sparkWidth = std::clamp(options_.sparkWidth, 8, static_cast<int>(kRing));
+  line_.reserve(512);
+}
+
+void WatchRenderer::attach(MonitorSet& set) {
+  set.setObserver(
+      [this](const CheckSample& sample, const MonitorSet& s) { onCheck(sample, s); });
+}
+
+void WatchRenderer::onCheck(const CheckSample& sample, const MonitorSet& set) {
+  ring_[ringNext_] = sample.gap;
+  ringNext_ = (ringNext_ + 1) % kRing;
+  if (ringSize_ < kRing) ++ringSize_;
+  ++checksSeen_;
+  last_ = sample;
+  haveLast_ = true;
+
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - lastRender_).count();
+  if (rendered_ && elapsed < options_.throttleSeconds) return;
+  lastRender_ = now;
+  rendered_ = true;
+  render(sample, set);
+}
+
+void WatchRenderer::finish(const MonitorSet& set) {
+  if (haveLast_) render(last_, set);
+}
+
+void WatchRenderer::render(const CheckSample& sample, const MonitorSet& set) {
+  char buf[192];
+  line_.clear();
+
+  const QuantileSketch& gaps = set.gapSketch();
+  std::snprintf(buf, sizeof(buf), "[watch] chk %lld  step %lld  t=%.2f | gap %lld",
+                static_cast<long long>(set.checks()),
+                static_cast<long long>(sample.step), sample.time,
+                static_cast<long long>(sample.gap));
+  line_ += buf;
+  if (options_.showBound) {
+    std::snprintf(buf, sizeof(buf), " / bound %lld",
+                  static_cast<long long>(options_.envelope.bound(sample.maxWeight)));
+    line_ += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  p50 %lld  p99 %lld | live %lld  load %lld | %lld warn  %lld err\n",
+                static_cast<long long>(gaps.quantile(0.5)),
+                static_cast<long long>(gaps.quantile(0.99)),
+                static_cast<long long>(sample.liveBalls),
+                static_cast<long long>(sample.totalLoad),
+                static_cast<long long>(set.log().warnings()),
+                static_cast<long long>(set.log().errors()));
+  line_ += buf;
+
+  // Sparkline over the newest `width` ring entries, oldest first,
+  // normalized against the window maximum.
+  const int width = std::min<int>(options_.sparkWidth, static_cast<int>(ringSize_));
+  std::int64_t windowMax = 1;
+  for (int i = 0; i < width; ++i) {
+    const std::size_t idx = (ringNext_ + kRing - static_cast<std::size_t>(width - i)) % kRing;
+    if (ring_[idx] > windowMax) windowMax = ring_[idx];
+  }
+  line_ += "        gap ";
+  for (int i = 0; i < width; ++i) {
+    const std::size_t idx = (ringNext_ + kRing - static_cast<std::size_t>(width - i)) % kRing;
+    const std::int64_t v = std::max<std::int64_t>(0, ring_[idx]);
+    line_ += kRamp[static_cast<std::size_t>((v * kRampLevels) / windowMax)];
+  }
+  std::snprintf(buf, sizeof(buf), "  (last %d checks, window max %lld)", width,
+                static_cast<long long>(windowMax));
+  line_ += buf;
+
+  const AnomalyLog& log = set.log();
+  if (log.size() > 0) {
+    const Anomaly& a = log.at(log.size() - 1);
+    std::snprintf(buf, sizeof(buf), "\n        last anomaly: [%s] %s/%s step %lld: ",
+                  severityName(a.severity), a.monitor, a.metric,
+                  static_cast<long long>(a.step));
+    line_ += buf;
+    line_ += a.detail;  // static storage, append without formatting
+  }
+  line_ += '\n';
+  out_ << line_;
+  out_.flush();
+}
+
+}  // namespace rlslb::obs

@@ -1,0 +1,70 @@
+// WatchRenderer: the `rlslb watch` live view over a MonitorSet.
+//
+// Rides the MonitorSet observer hook: every conformance check lands a
+// CheckSample here, the renderer keeps a fixed ring of recent gaps, and
+// at a wall-clock throttle (default twice a second) prints a two-line
+// snapshot -- current gap vs the paper envelope, gap p50/p99 from the
+// set's streaming sketch, an ASCII sparkline of the recent trajectory,
+// and the anomaly tally with the latest violation.
+//
+// The renderer allocates only at construction (the ring is a fixed
+// array; lines are built into a reused buffer), so attaching it keeps
+// the serve loop's steady-state allocation contract intact.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/monitor.hpp"
+
+namespace rlslb::obs {
+
+class WatchRenderer {
+ public:
+  struct Options {
+    double throttleSeconds = 0.5;  ///< min wall time between printed lines
+    int sparkWidth = 48;           ///< sparkline columns (<= ring capacity)
+    /// Envelope for the "bound" column; only meaningful for serve-side
+    /// watches (showBound=false hides it, e.g. for process scenarios).
+    GapEnvelope envelope{};
+    bool showBound = true;
+  };
+
+  WatchRenderer(std::ostream& out, Options options);
+
+  /// Record one check and maybe print (throttled). Matches
+  /// MonitorSet::Observer, so attach with:
+  ///   set.setObserver([&w](const CheckSample& s, const MonitorSet& m)
+  ///                   { w.onCheck(s, m); });
+  void onCheck(const CheckSample& sample, const MonitorSet& set);
+
+  /// Install this renderer as `set`'s observer.
+  void attach(MonitorSet& set);
+
+  /// Print one final unthrottled snapshot (end of run).
+  void finish(const MonitorSet& set);
+
+  [[nodiscard]] std::int64_t checksSeen() const { return checksSeen_; }
+
+ private:
+  static constexpr std::size_t kRing = 256;
+
+  void render(const CheckSample& sample, const MonitorSet& set);
+
+  std::ostream& out_;
+  Options options_;
+  std::array<std::int64_t, kRing> ring_{};
+  std::size_t ringSize_ = 0;
+  std::size_t ringNext_ = 0;
+  std::int64_t checksSeen_ = 0;
+  bool haveLast_ = false;
+  CheckSample last_{};
+  std::string line_;  // reused render buffer
+  std::chrono::steady_clock::time_point lastRender_;
+  bool rendered_ = false;
+};
+
+}  // namespace rlslb::obs

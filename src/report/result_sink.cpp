@@ -170,6 +170,26 @@ void ResultSink::writeMetrics(const std::string& scenario, const Json& snapshot)
   writeLine(rec);
 }
 
+void ResultSink::writeAnomaly(const std::string& scenario, const Json& anomaly) {
+  if (out_ == nullptr) return;
+  RLSLB_ASSERT_MSG(anomaly.isObject(), "anomaly payload must be a JSON object");
+  Json rec = Json::object();
+  rec.set("type", "anomaly");
+  rec.set("scenario", scenario);
+  for (const std::string& key : anomaly.keys()) rec.set(key, anomaly.at(key));
+  writeLine(rec);
+}
+
+void ResultSink::writeConformance(const std::string& scenario, const Json& summary) {
+  if (out_ == nullptr) return;
+  RLSLB_ASSERT_MSG(summary.isObject(), "conformance summary must be a JSON object");
+  Json rec = Json::object();
+  rec.set("type", "conformance");
+  rec.set("scenario", scenario);
+  for (const std::string& key : summary.keys()) rec.set(key, summary.at(key));
+  writeLine(rec);
+}
+
 void ResultSink::endScenario(const std::string& name, double wallSeconds) {
   if (out_ == nullptr) return;
   Json j = Json::object();

@@ -14,18 +14,27 @@
 //   {"type":"throughput", ...}         scenario events/sec (the serving
 //                                      scenarios' CI-gated rate metric)
 //   {"type":"metrics", ...}            merged obs::MetricsRegistry snapshot
-//                                      (counters/gauges/histograms; the
-//                                      phase-timing source for
+//                                      (counters/gauges/histograms/sketches;
+//                                      the phase-timing source for
 //                                      scripts/perf_report.py)
+//   {"type":"anomaly", ...}            one conformance-monitor violation
+//                                      (obs/monitor.hpp): monitor, metric,
+//                                      severity, step/time, value vs bound
+//   {"type":"conformance", ...}        per-scenario monitor summary: check
+//                                      and anomaly counts + gap/latency
+//                                      sketch snapshots
 //   {"type":"scenario_end", ...}       scenario wall-clock seconds
 //
 // Determinism contract (asserted by tests/test_scenario.cpp and relied on
 // by CI's results diff): for a fixed seed, every "scenario_start" and
 // "table" record is byte-identical across runs, thread counts, and
 // machines; all wall-clock and host-dependent data is confined to
-// "manifest", "timing", "throughput", "metrics", and "scenario_end"
-// records ("metrics" carries phase nanoseconds, so the whole record type
-// is excluded even though its semantic counters are deterministic).
+// "manifest", "timing", "throughput", "metrics", "conformance", and
+// "scenario_end" records ("metrics" carries phase nanoseconds, so the
+// whole record type is excluded even though its semantic counters are
+// deterministic; "conformance" likewise via its latency sketch).
+// "anomaly" records from simulated-state monitors are deterministic;
+// wall-clock monitors (latency_drift) may differ run to run.
 //
 // The sink is not thread-safe; scenarios run sequentially and emit tables
 // from the calling thread (replication fan-out stays below this layer).
@@ -98,6 +107,12 @@ class ResultSink {
   /// are spliced into the record. Wall-clock-bearing (phase ns counters),
   /// hence excluded from the determinism contract.
   void writeMetrics(const std::string& scenario, const Json& snapshot);
+  /// One monitor violation (type "anomaly"): `anomaly` is
+  /// obs::anomalyToJson() -- its fields are spliced into the record.
+  void writeAnomaly(const std::string& scenario, const Json& anomaly);
+  /// Per-scenario monitor summary (type "conformance"): `summary` is
+  /// obs::MonitorSet::summaryJson(), fields spliced like writeMetrics.
+  void writeConformance(const std::string& scenario, const Json& summary);
   void endScenario(const std::string& name, double wallSeconds);
 
   /// Escape hatch: write an arbitrary record (must be an object; a "type"

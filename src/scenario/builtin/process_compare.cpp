@@ -68,7 +68,9 @@ void runProcessCompare(ScenarioContext& ctx) {
   const double horizon = ctx.params.getDouble("horizon", 50.0);
   const std::int64_t budget = ctx.params.getInt("budget", 50'000'000);
   const std::int64_t reps = ctx.repsOr(10);
-  const bool instrument = ctx.params.getBool("probe", false) || ctx.trace != nullptr;
+  const bool conformance = ctx.params.getBool("conformance", ctx.conformanceDefault);
+  const bool instrument =
+      ctx.params.getBool("probe", false) || ctx.trace != nullptr || conformance;
 
   std::vector<std::string> kinds = util::splitCsv(ctx.params.getString("process", "rls"));
   if (kinds.size() == 1 && kinds[0] == "all") {
@@ -76,6 +78,11 @@ void runProcessCompare(ScenarioContext& ctx) {
     for (const process::ProcessSpec* s : registry.list()) kinds.push_back(s->kind);
   }
   RLSLB_ASSERT_MSG(!kinds.empty(), "process= names no kinds");
+
+  // Conformance: one roster serves every kind's instrumented replication;
+  // beginRun() below separates the sub-runs (monotone-step invariants
+  // reset, anomalies tagged with the run index).
+  if (conformance) obs::installProcessMonitors(ctx.monitors, n, m);
 
   const config::Configuration start = makeStart(startName, n, m, ctx.seed);
   const auto band =
@@ -147,6 +154,10 @@ void runProcessCompare(ScenarioContext& ctx) {
           registry.make(kind, start, ctx.seed ^ stableHash("probe:" + kind), params);
       obs::ProcessProbe::Options probeOptions;
       probeOptions.prefix = "process." + kind;
+      if (conformance) {
+        ctx.monitors.beginRun();
+        probeOptions.monitors = &ctx.monitors;
+      }
       obs::ProcessProbe telemetry(&ctx.metrics, ctx.trace, probeOptions);
       (void)process::run(*traced, target, limits, &telemetry);
       telemetry.finish(*traced);
@@ -212,6 +223,9 @@ void registerProcessCompare(ScenarioRegistry& r) {
           {"probe", "bool", "0",
            "1 = run one extra instrumented replication per kind (process.* metrics; "
            "implied by --trace-out)"},
+          {"conformance", "bool", "0 (run default)",
+           "attach the conformance monitor roster to the instrumented replication "
+           "(implies probe=1)"},
           {"gap", "int", "per kind", "forwarded to rls_naive/graph_rls/open"},
           {"threshold", "int", "floor(m/n)", "forwarded to threshold"},
           {"p", "double", "0.5", "forwarded to threshold"},

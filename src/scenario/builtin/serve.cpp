@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
 #include "scenario/builtin/builtin.hpp"
@@ -100,6 +101,8 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
   serve::AllocatorOptions allocOptions;
   allocOptions.bins = n;
   allocOptions.arrivalChoices = static_cast<int>(ctx.params.getInt("d", 2));
+  allocOptions.invertAcceptance = ctx.params.getBool("invert", false);
+  const bool conformance = ctx.params.getBool("conformance", ctx.conformanceDefault);
   serve::LoopOptions loopOptions;
   loopOptions.shards = static_cast<int>(ctx.params.getInt("shards", 8));
   loopOptions.epochEvents = ctx.params.getInt("epoch", 1024);
@@ -162,13 +165,33 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
     }
   }
 
+  // Epoch observation: a handful of trajectory checkpoints plus post-warmup
+  // gap statistics and the per-epoch wall-clock distribution. Computed
+  // before the loop so the conformance warmup can be sized from it.
+  const std::int64_t totalEpochs =
+      (events + loopOptions.epochEvents - 1) / loopOptions.epochEvents;
+
+  // Conformance: the default serve roster (load conservation, the paper's
+  // gap envelope, latency drift) rides the epoch boundary when
+  // conformance=1 (or --conformance= made it the run default).
+  if (conformance) {
+    obs::ServeConformanceParams cp;
+    cp.n = n;
+    const double mu = ctx.params.getDouble("mu", 0.125);
+    cp.expectedBalls =
+        mu > 0.0 ? static_cast<std::int64_t>(ctx.params.getDouble("lambda", 1.0) *
+                                             static_cast<double>(n) / mu)
+                 : 0;
+    cp.d = allocOptions.arrivalChoices;
+    cp.totalEpochs = totalEpochs;
+    obs::installServeMonitors(ctx.monitors, cp);
+    ctx.monitors.beginRun();
+    loopOptions.monitors = &ctx.monitors;
+  }
+
   serve::OnlineAllocator allocator(allocOptions);
   serve::ShardedEventLoop loop(allocator, loopOptions, ctx.pool());
 
-  // Epoch observation: a handful of trajectory checkpoints plus post-warmup
-  // gap statistics and the per-epoch wall-clock distribution.
-  const std::int64_t totalEpochs =
-      (events + loopOptions.epochEvents - 1) / loopOptions.epochEvents;
   const std::int64_t checkpointEvery = std::max<std::int64_t>(1, totalEpochs / 8);
   const std::int64_t warmupEpochs = totalEpochs / 4;
   Table trajectory({"epoch", "trace time", "live balls", "total load", "gap", "migrations"});
@@ -421,6 +444,11 @@ void registerServe(ScenarioRegistry& r) {
       {"mu", "double", "0.125", "per-ball departure rate"},
       {"resample", "double", "1.0", "per-ball RLS clock rate"},
       {"weight", "int", "1", "background ball weight"},
+      {"conformance", "bool", "0 (run default)",
+       "attach the conformance monitor roster at epoch boundaries"},
+      {"invert", "bool", "0",
+       "TEST HOOK: invert the allocator's acceptance rule (drives the gap up; "
+       "pairs with conformance=1 to demo anomaly detection)"},
       {"record", "string", "(off)", "tee the generated trace to this JSONL file"},
       {"trace", "string", "(off)", "replay a recorded JSONL trace instead of generating"},
       {"trace_out", "string", "(off)",

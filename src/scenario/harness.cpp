@@ -24,7 +24,33 @@ ScenarioContext contextFromArgs(const CliArgs& args) {
   ctx.seed = static_cast<std::uint64_t>(args.getInt("seed", 20170529));
   ctx.threads = args.getThreads(0);
   ctx.csv = args.getBool("csv", false);
+  const std::string conformance = args.getString("conformance", "off");
+  if (conformance == "on") {
+    ctx.conformanceDefault = true;
+  } else if (conformance == "strict") {
+    ctx.conformanceDefault = true;
+    ctx.conformanceStrict = true;
+  } else if (conformance == "off") {
+    ctx.conformanceDefault = false;
+  } else {
+    std::fprintf(stderr, "unknown --conformance=%s (on|off|strict)\n",
+                 conformance.c_str());
+    std::exit(2);
+  }
   return ctx;
+}
+
+int conformanceExit(const ScenarioContext& ctx) {
+  if (ctx.conformanceChecks > 0 && ctx.console != nullptr) {
+    *ctx.console << "[conformance] run total: " << ctx.conformanceChecks << " checks, "
+                 << ctx.anomalyWarnings << " warnings, " << ctx.anomalyErrors
+                 << " errors"
+                 << (ctx.conformanceStrict && ctx.anomalyErrors > 0
+                         ? " -- FAILING (strict)"
+                         : "")
+                 << '\n';
+  }
+  return ctx.conformanceStrict && ctx.anomalyErrors > 0 ? 3 : 0;
 }
 
 void applyParamTokens(ScenarioContext& ctx, const std::vector<std::string>& tokens) {
@@ -151,7 +177,7 @@ int runStandalone(int argc, char** argv, const std::string& scenarioName) {
     }
     return 2;
   }
-  return 0;
+  return conformanceExit(ctx);
 }
 
 }  // namespace rlslb::scenario

@@ -23,10 +23,16 @@
 
 namespace rlslb::scenario {
 
-/// Build a ScenarioContext from the common `--key=value` knobs. Exits with
-/// code 2 on a malformed --scale. Does not check unused flags (the caller
-/// may still consume e.g. --out).
+/// Build a ScenarioContext from the common `--key=value` knobs (including
+/// --conformance=on|off|strict). Exits with code 2 on a malformed --scale
+/// or --conformance. Does not check unused flags (the caller may still
+/// consume e.g. --out).
 ScenarioContext contextFromArgs(const CliArgs& args);
+
+/// Print the run-total conformance summary (when any checks ran) and
+/// return the driver exit code: 3 when --conformance=strict saw
+/// error-severity anomalies, 0 otherwise.
+int conformanceExit(const ScenarioContext& ctx);
 
 /// Fill `ctx.params` from bare key=value tokens; exits with code 2 on a
 /// malformed token.

@@ -80,8 +80,10 @@ void ScenarioRegistry::runOne(const std::string& name, ScenarioContext& ctx) con
 
   // Per-scenario telemetry: the registry starts empty (no stale
   // instruments from the previous scenario) and its merged snapshot lands
-  // right before the scenario_end record when anything registered.
+  // right before the scenario_end record when anything registered. The
+  // conformance roster follows the same lifecycle.
   ctx.metrics.reset();
+  ctx.monitors.clear();
 
   WallTimer wall;
   s->run(ctx);
@@ -89,6 +91,36 @@ void ScenarioRegistry::runOne(const std::string& name, ScenarioContext& ctx) con
 
   if (ctx.sink != nullptr && !ctx.metrics.empty()) {
     ctx.sink->writeMetrics(s->name, ctx.metrics.toJson());
+  }
+  if (!ctx.monitors.empty()) {
+    ctx.monitors.finish();
+    const obs::AnomalyLog& log = ctx.monitors.log();
+    if (ctx.sink != nullptr) {
+      for (std::size_t i = 0; i < log.size(); ++i) {
+        ctx.sink->writeAnomaly(s->name, obs::anomalyToJson(log.at(i)));
+      }
+      ctx.sink->writeConformance(s->name, ctx.monitors.summaryJson());
+    }
+    ctx.conformanceChecks += ctx.monitors.checks();
+    ctx.anomalyWarnings += log.warnings();
+    ctx.anomalyErrors += log.errors();
+    if (ctx.console != nullptr) {
+      *ctx.console << "[conformance] " << ctx.monitors.checks() << " checks, "
+                   << log.warnings() << " warnings, " << log.errors() << " errors";
+      if (log.dropped() > 0) *ctx.console << " (" << log.dropped() << " dropped)";
+      *ctx.console << '\n';
+      const std::size_t shown = log.size() < 5 ? log.size() : std::size_t{5};
+      for (std::size_t i = 0; i < shown; ++i) {
+        const obs::Anomaly& a = log.at(i);
+        *ctx.console << "  [" << obs::severityName(a.severity) << "] " << a.monitor
+                     << "/" << a.metric << " step " << a.step << ": " << a.detail
+                     << " (value " << a.value << ", bound " << a.bound << ")\n";
+      }
+      if (log.size() > shown) {
+        *ctx.console << "  ... " << (log.size() - shown) << " more\n";
+      }
+      *ctx.console << '\n';
+    }
   }
   if (ctx.sink != nullptr) ctx.sink->endScenario(s->name, seconds);
   if (ctx.console != nullptr) {

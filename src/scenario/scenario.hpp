@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "process/params.hpp"
 #include "report/result_sink.hpp"
@@ -56,6 +57,26 @@ struct ScenarioContext {
   /// compiled in): scenarios with traceable subsystems attach it (the
   /// harness also attaches it to the shared pool for job spans).
   obs::TraceWriter* trace = nullptr;
+
+  /// The run's conformance roster (obs/monitor.hpp). Scenarios that honor
+  /// `conformance=` install their default monitors here and hand the set
+  /// to their subsystems (serve::LoopOptions.monitors /
+  /// obs::ProcessProbe::Options::monitors); runOne clears it per scenario
+  /// and, when monitors ran, emits each violation as a {"type":"anomaly"}
+  /// record plus a {"type":"conformance"} summary record.
+  obs::MonitorSet monitors;
+  /// Default for the scenarios' `conformance=` param; set by the
+  /// --conformance= driver flag (on|off|strict, default off; `rlslb
+  /// watch` defaults it on).
+  bool conformanceDefault = false;
+  /// --conformance=strict: the driver exits non-zero on any error-severity
+  /// anomaly (the CI gate).
+  bool conformanceStrict = false;
+  /// Run totals, accumulated by runOne across scenarios for the driver's
+  /// exit summary.
+  std::int64_t conformanceChecks = 0;
+  std::int64_t anomalyWarnings = 0;
+  std::int64_t anomalyErrors = 0;
 
   /// Set by ScenarioRegistry::runOne for the duration of the run; sink
   /// records are tagged with it.

@@ -76,6 +76,7 @@ void ShardedEventLoop::registerMetrics() {
   ids_.applyShards = m.gauge("serve.apply_shards");
   ids_.queuePeak = m.gauge("serve.queue_peak");
   ids_.epochGap = m.histogram("serve.epoch_gap", {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  ids_.epochNs = m.sketch("serve.epoch_ns");
   metricsRegistered_ = true;
 }
 
@@ -108,6 +109,7 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
   // per-event hot path never touches the registry or the writer.
   obs::MetricsRegistry* const metrics = options_.metrics;
   obs::TraceWriter* const traceOut = options_.trace;
+  obs::MonitorSet* const monitors = options_.monitors;
   const bool instrumented = metrics != nullptr || traceOut != nullptr;
   ServeCounters prevCounters;
   std::int64_t prevFlushedBins = 0;
@@ -269,7 +271,7 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
     // Everything below is outside the timed region: stats assembly, the
     // telemetry export, and the callback.
     const bool wantBalance = static_cast<bool>(onEpoch) || metrics != nullptr ||
-                             traceOut != nullptr;
+                             traceOut != nullptr || monitors != nullptr;
     sim::BalanceState balance;
     if (wantBalance) balance = allocator_->balanceState();
     const std::int64_t gap = balance.maxLoad - balance.minLoad;
@@ -323,6 +325,35 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
       metrics->set(ids_.applyShards, static_cast<double>(applyShards));
       metrics->setMax(ids_.queuePeak, static_cast<double>(queuePeak));
       metrics->observe(ids_.epochGap, gap);
+      metrics->observeSketch(ids_.epochNs, spanNs(tEpoch0, tFlush1));
+    }
+
+    if (monitors != nullptr) {
+      obs::CheckSample sample;
+      sample.origin = obs::CheckSample::Origin::kServeEpoch;
+      sample.step = nextEpoch_;
+      sample.time = batch.back().time;
+      sample.events = static_cast<std::int64_t>(batch.size());
+      sample.wallSeconds = epochWall;
+      sample.gap = gap;
+      sample.liveBalls = allocator_->liveBalls();
+      sample.totalLoad = allocator_->totalLoad();
+      sample.maxWeight = allocator_->maxWeightSeen();
+      const ServeCounters& c = allocator_->counters();
+      sample.arrivals = c.arrivals;
+      sample.departures = c.departures;
+      sample.migrations = c.migrations + c.repairMigrations;
+      sample.queuedOps = queuedOps;
+      sample.crossShardOps = crossShardOps;
+      sample.queuePeak = queuePeak;
+      // What the drain consumed: its column sums of the queue matrix
+      // (still populated until the next epoch's clear).
+      if (partitioned) {
+        for (int shard = 0; shard < applyShards; ++shard) {
+          sample.drainedOps += queues_.pendingFor(shard);
+        }
+      }
+      monitors->check(sample);
     }
 
     if (onEpoch) {

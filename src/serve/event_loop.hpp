@@ -59,6 +59,7 @@
 #include <functional>
 
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "runner/thread_pool.hpp"
 #include "serve/migration_queue.hpp"
@@ -91,6 +92,13 @@ struct LoopOptions {
   /// phase for the duration of run().
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceWriter* trace = nullptr;
+  /// Conformance monitors (obs/monitor.hpp): fed one CheckSample per
+  /// epoch, outside the timed region, from the sequential section. Like
+  /// metrics, attaching a roster preserves the steady-state
+  /// zero-allocation and byte-determinism contracts (wall-clock-fed
+  /// monitors excepted from the latter; pinned by
+  /// tests/test_obs_monitor.cpp).
+  obs::MonitorSet* monitors = nullptr;
 };
 
 /// Execution observations of the apply phase's queue machinery, shared by
@@ -124,23 +132,6 @@ struct EpochStats {
   /// max - min bin load after the epoch (derived; single source of truth
   /// is `balance`).
   [[nodiscard]] std::int64_t gap() const { return balance.maxLoad - balance.minLoad; }
-
-  // Deprecated spellings of the folded queue stats: these were loose
-  // fields before the obs layer unified the counter vocabulary. Read
-  // `queue.<field>` instead.
-  [[deprecated("read queue.applyShards")]] [[nodiscard]] int applyShards() const {
-    return queue.applyShards;
-  }
-  [[deprecated("read queue.queuedOps")]] [[nodiscard]] std::int64_t queuedOps() const {
-    return queue.queuedOps;
-  }
-  [[deprecated("read queue.crossShardOps")]] [[nodiscard]] std::int64_t crossShardOps()
-      const {
-    return queue.crossShardOps;
-  }
-  [[deprecated("read queue.queuePeak")]] [[nodiscard]] std::int64_t queuePeak() const {
-    return queue.queuePeak;
-  }
 };
 
 class ShardedEventLoop {
@@ -154,15 +145,6 @@ class ShardedEventLoop {
     double wallSeconds = 0.0;  // exact sum of per-epoch wallSeconds
     /// Cumulative queue machinery stats (queuePeak = max over epochs).
     QueueStats queue;
-
-    // Deprecated spellings (see EpochStats): read `queue.<field>`.
-    [[deprecated("read queue.queuedOps")]] [[nodiscard]] std::int64_t queuedOps() const {
-      return queue.queuedOps;
-    }
-    [[deprecated("read queue.crossShardOps")]] [[nodiscard]] std::int64_t
-    crossShardOps() const {
-      return queue.crossShardOps;
-    }
   };
 
   /// Drain the trace. `onEpoch` (may be empty) fires after each epoch.
@@ -188,6 +170,7 @@ class ShardedEventLoop {
     obs::CounterId decideNs, resolveNs, drainNs, applyNs, repairNs, flushNs;
     obs::GaugeId gap, liveBalls, totalLoad, applyShards, queuePeak;
     obs::HistId epochGap;
+    obs::SketchId epochNs;
   };
   void registerMetrics();
 

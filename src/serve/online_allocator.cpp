@@ -143,8 +143,9 @@ void OnlineAllocator::applyBatch(const workload::Event* events, const Decision* 
         // Strict local-search rule on *live* loads: the sampled candidate
         // came from the epoch snapshot stream, but the acceptance must never
         // worsen balance, so it is re-checked here.
-        if (dst != src && loads_[static_cast<std::size_t>(dst)] + it->weight <
-                              loads_[static_cast<std::size_t>(src)]) {
+        if (dst != src && ((loads_[static_cast<std::size_t>(dst)] + it->weight <
+                            loads_[static_cast<std::size_t>(src)]) !=
+                           options_.invertAcceptance)) {
           ++migrations;
           moveBall(event.ball, *shard, it, dst);
         } else {
@@ -232,8 +233,9 @@ void OnlineAllocator::resolveBatch(const workload::Event* events,
         // Exactly apply()'s live-load acceptance: loads_ has absorbed every
         // earlier event of the epoch, so the partitioned path accepts and
         // rejects the very same moves the fused path would.
-        if (dst != src && loads_[static_cast<std::size_t>(dst)] + rec.weight <
-                              loads_[static_cast<std::size_t>(src)]) {
+        if (dst != src && ((loads_[static_cast<std::size_t>(dst)] + rec.weight <
+                            loads_[static_cast<std::size_t>(src)]) !=
+                           options_.invertAcceptance)) {
           ++migrations;
           loads_[static_cast<std::size_t>(src)] -= rec.weight;
           loads_[static_cast<std::size_t>(dst)] += rec.weight;
@@ -317,8 +319,9 @@ bool OnlineAllocator::repairMove(rng::Xoshiro256pp& eng) {
       rng::uniformIndex(eng, static_cast<std::uint64_t>(loads_.size())));
   BallRec* it = srcShard.balls.find(ball);
   RLSLB_ASSERT(it != nullptr);
-  if (dst == src || loads_[static_cast<std::size_t>(dst)] + it->weight >=
-                        loads_[static_cast<std::size_t>(src)]) {
+  if (dst == src || ((loads_[static_cast<std::size_t>(dst)] + it->weight <
+                      loads_[static_cast<std::size_t>(src)]) ==
+                     options_.invertAcceptance)) {
     return false;
   }
   ++counters_.repairMigrations;

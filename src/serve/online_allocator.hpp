@@ -89,6 +89,12 @@ namespace rlslb::serve {
 struct AllocatorOptions {
   std::int64_t bins = 256;
   int arrivalChoices = 2;  // d: snapshot-least-loaded of d sampled bins
+  /// TEST HOOK: invert the local-search acceptance rule, accepting
+  /// exactly the resample/repair moves the strict rule rejects. Exists
+  /// so the conformance layer can be exercised against a deliberately
+  /// broken dynamic (tests/test_obs_monitor.cpp); never set by shipped
+  /// scenarios.
+  bool invertAcceptance = false;
 };
 
 /// The precomputed random choice for one event. Arrive: the chosen bin.

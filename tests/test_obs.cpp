@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "report/json.hpp"
 #include "runner/thread_pool.hpp"
@@ -83,8 +84,9 @@ TEST(MetricsRegistry_, RegistrationIsIdempotentByName) {
 TEST(MetricsRegistry_, HistogramBucketBoundariesAreInclusiveUpperBounds) {
   MetricsRegistry m;
   const HistId h = m.histogram("h", {0, 1, 4});
-  // v <= bounds[i] lands in bucket i; beyond the last bound -> overflow.
-  m.observe(h, -3);  // bucket 0 (<= 0)
+  // bounds[0] <= v <= bounds[i] lands in bucket i; outside that range the
+  // value is counted explicitly instead of clamped into an edge bucket.
+  m.observe(h, -3);  // underflow (< bounds[0])
   m.observe(h, 0);   // bucket 0
   m.observe(h, 1);   // bucket 1
   m.observe(h, 2);   // bucket 2 (<= 4)
@@ -92,11 +94,12 @@ TEST(MetricsRegistry_, HistogramBucketBoundariesAreInclusiveUpperBounds) {
   m.observe(h, 5);   // overflow
   m.observe(h, 999); // overflow
   const std::vector<std::int64_t> counts = m.histCounts(h);
-  ASSERT_EQ(counts.size(), 4u);
-  EXPECT_EQ(counts[0], 2);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1);
   EXPECT_EQ(counts[1], 1);
   EXPECT_EQ(counts[2], 2);
-  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(m.histUnderflow(h), 1);
+  EXPECT_EQ(m.histOverflow(h), 2);
   EXPECT_EQ(m.histTotal(h), 7);
 }
 
@@ -273,6 +276,61 @@ TEST(MetricsHotPath, SteadyStateEpochsAreAllocationFreeWithMetricsAttached) {
                   "serve.epoch_gap", {0, 1, 2, 4, 8, 16, 32, 64, 128})),
               kEpochs);
   }
+}
+
+// The full observability stack live -- metrics (including the epoch-ns
+// quantile sketch) AND the conformance roster (conservation, gap envelope,
+// drift with its CUSUM) -- must keep steady-state epochs heap-silent.
+TEST(MetricsHotPath, SteadyStateEpochsAreAllocationFreeWithMonitorsAttached) {
+  constexpr std::int64_t kEpochEvents = 256;
+  constexpr std::int64_t kEpochs = 16;
+  serve::OnlineAllocator allocator = makeBalancedAllocator(64, 256);
+  ASSERT_EQ(allocator.gap(), 0);
+
+  runner::ThreadPool pool(2);
+  MetricsRegistry metrics;
+  MonitorSet monitors;
+  ServeConformanceParams conformance;
+  conformance.n = 64;
+  conformance.expectedBalls = 256;
+  conformance.d = 2;
+  conformance.totalEpochs = kEpochs;
+  installServeMonitors(monitors, conformance);
+  monitors.beginRun();
+
+  serve::LoopOptions options;
+  options.shards = 4;
+  options.epochEvents = kEpochEvents;
+  options.repairMovesPerEpoch = 4;
+  options.seed = 11;
+  options.applyMode = serve::ApplyMode::kPartitioned;
+  options.metrics = &metrics;
+  options.monitors = &monitors;
+  serve::ShardedEventLoop loop(allocator, options, pool);
+
+  ResampleOnlyTrace trace(256, kEpochEvents * kEpochs);
+  std::vector<std::int64_t> perEpoch;
+  perEpoch.reserve(64);
+  std::int64_t last = 0;
+  g_allocCount.store(0);
+  g_countAllocs.store(true);
+  const auto result = loop.run(trace, [&](const serve::EpochStats&) {
+    const std::int64_t now = allocCount();
+    perEpoch.push_back(now - last);
+    last = now;
+  });
+  g_countAllocs.store(false);
+
+  ASSERT_EQ(result.epochs, kEpochs);
+  for (std::size_t i = 1; i < perEpoch.size(); ++i) {
+    EXPECT_EQ(perEpoch[i], 0)
+        << "epoch " << i << " allocated with monitors + sketches attached";
+  }
+  // The roster was live (every epoch checked, the sketch fed) and the
+  // balanced steady state is healthy: no anomalies.
+  EXPECT_EQ(monitors.checks(), kEpochs);
+  EXPECT_EQ(monitors.gapSketch().count(), kEpochs);
+  EXPECT_EQ(monitors.log().total(), 0);
 }
 
 // Telemetry must be semantically invisible: the observed loop lands in the
