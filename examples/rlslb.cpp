@@ -43,6 +43,7 @@
 #include "obs/watch.hpp"
 #include "process/registry.hpp"
 #include "scenario/harness.hpp"
+#include "workload/compose.hpp"
 
 using namespace rlslb;
 
@@ -52,17 +53,20 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list\n"
                "       %s processes\n"
-               "       %s describe <scenario-or-process...>\n"
+               "       %s traces\n"
+               "              list the workload trace generators and the compose\n"
+               "              algebra's factors/combinators (spec= grammar)\n"
+               "       %s describe <scenario-process-or-trace-factor...>\n"
                "       %s run <scenario...> [--scale=..] [--seed=..] [--reps=..]\n"
                "             [--threads=..] [--csv] [--out=FILE] [key=value...]\n"
                "       %s all [flags] [key=value...]\n"
                "       %s serve <kind...> [flags] [key=value...]\n"
-               "              kinds: poisson bursty diurnal adversarial\n"
+               "              kinds: poisson bursty diurnal adversarial composed\n"
                "              (shorthand for `run serve_<kind>`)\n"
                "       %s watch <scenario...> [flags] [key=value...]\n"
                "              run with conformance monitors on and a live\n"
                "              gap/anomaly snapshot on stdout\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -79,7 +83,35 @@ void printParamSpec(const std::vector<process::ParamSpec>& params) {
   table.print(std::cout, "parameters (pass as bare key=value tokens)");
 }
 
-/// `rlslb describe <name>`: scenario first, process kind second.
+/// `rlslb traces`: the generator roster plus the compose algebra.
+void printTraceRoster() {
+  Table generators({"generator", "scenario", "description"});
+  generators.row().cell("poisson").cell("serve_poisson").cell(
+      "constant-rate Poisson arrivals/departures (the [11] baseline)");
+  generators.row().cell("bursty").cell("serve_bursty").cell(
+      "2-state MMPP calm/burst modulated arrivals");
+  generators.row().cell("diurnal").cell("serve_diurnal").cell(
+      "sinusoid (day/night) modulated arrivals");
+  generators.row().cell("adversarial").cell("serve_adversarial").cell(
+      "synchronized heavy hot-spot bursts on background Poisson");
+  generators.row().cell("composed:<spec>").cell("serve_composed / serve_capacity").cell(
+      "trace algebra over the factors below (spec= / traces= params)");
+  generators.row().cell("replay").cell("any serve_* (trace=FILE)").cell(
+      "recorded trace: .jsonl / .csv / .bin chosen by extension");
+  generators.print(std::cout, "workload trace generators (workload/generators.hpp)");
+
+  Table algebra({"name", "signature", "role", "description"});
+  for (const workload::TraceFactorSpec& f : workload::traceFactorRoster()) {
+    algebra.row().cell(f.name).cell(f.signature).cell(f.role).cell(f.description);
+  }
+  algebra.print(std::cout, "\ncompose algebra (spec grammar: term ('+' term)*, "
+                           "term = factor ('*' factor)*)");
+  std::cout << "\nexample: rlslb serve composed "
+               "'spec=diurnal(0.8,64)*bursty(8,0.05,0.5)+hotspot(16,32,8)'\n";
+}
+
+/// `rlslb describe <name>`: scenario first, process kind second, trace
+/// factor/combinator third.
 int describeOne(const std::string& name, const scenario::ScenarioRegistry& scenarios,
                 const process::ProcessRegistry& processes) {
   if (const scenario::Scenario* s = scenarios.find(name)) {
@@ -97,9 +129,17 @@ int describeOne(const std::string& name, const scenario::ScenarioRegistry& scena
               << p->kind << " [key=value...]`\n";
     return 0;
   }
+  for (const workload::TraceFactorSpec& f : workload::traceFactorRoster()) {
+    if (f.name == name) {
+      std::cout << "trace " << f.role << " " << f.signature << "\n  " << f.description
+                << "\n\nuse it in a compose spec: `rlslb serve composed spec=...` or "
+                   "`rlslb run serve_capacity traces=...`; full roster: `rlslb traces`\n";
+      return 0;
+    }
+  }
   std::fprintf(stderr,
-               "unknown name '%s': neither a scenario (see `rlslb list`) nor a process "
-               "kind (see `rlslb processes`)\n",
+               "unknown name '%s': not a scenario (`rlslb list`), process kind "
+               "(`rlslb processes`), or trace factor (`rlslb traces`)\n",
                name.c_str());
   return 2;
 }
@@ -179,6 +219,17 @@ int main(int argc, char** argv) {
     std::cout << "\ncompare them with: " << args.programName()
               << " run process_compare process=<kind,...|all> [key=value...]\n"
               << "parameter specs: " << args.programName() << " describe <kind>\n";
+    return 0;
+  }
+
+  if (command == "traces") {
+    if (!names.empty() || !paramTokens.empty()) return usage(argv[0]);
+    const auto unknownFlags = args.unusedKeys();
+    if (!unknownFlags.empty()) {
+      for (const auto& k : unknownFlags) std::fprintf(stderr, "unknown flag --%s\n", k.c_str());
+      return 2;
+    }
+    printTraceRoster();
     return 0;
   }
 

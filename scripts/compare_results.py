@@ -61,9 +61,13 @@ also scanned for SUSTAINED drift: a scenario that moved in the same
 direction across every one of the last --drift-window run-to-run steps
 AND by more than --trend-threshold in total is flagged (WARNING when
 slower -- a creeping regression the per-commit noise hides; note when
-faster). When every gated scenario sustains a speedup, the check suggests
-regenerating the baseline with --write-baseline, since a stale slow
-baseline widens every later gate.
+faster). Passing --drift-gate promotes that warning to a gating FAILURE
+whenever enough priors are present to make the scan meaningful (fewer
+priors leave it a warning: the window cannot be evaluated, and a red CI
+on missing artifacts would train people to delete the flag). When every
+gated scenario sustains a speedup, the check suggests regenerating the
+baseline with --write-baseline, since a stale slow baseline widens every
+later gate.
 
 Regenerate the baseline after an intentional perf change:
 
@@ -149,6 +153,11 @@ def main():
                          "move the same way (on top of a total change beyond "
                          "--trend-threshold) before drift counts as sustained "
                          "(default 3)")
+    ap.add_argument("--drift-gate", action="store_true",
+                    help="promote the sustained-drift WARNING to a gating "
+                         "failure when >= --drift-window priors are supplied "
+                         "(with fewer priors the scan cannot run and the flag "
+                         "is a no-op, so CI can always pass it)")
     ap.add_argument("--trend-threshold", type=float, default=0.10,
                     help="non-gating uniform-drift warning: fires when every "
                          "gated scenario's absolute ratio moves the same way "
@@ -364,12 +373,15 @@ def main():
                         (f"{name} (throughput)", total))
 
             if slower:
+                severity = "FAIL" if args.drift_gate else "WARNING"
                 for name, total in slower:
-                    print(f"WARNING: sustained drift -- {name} got slower in "
-                          f"each of the last {window} runs ({total - 1.0:+.1%} "
-                          f"total); a creeping regression the per-commit "
-                          f"noise hides. Bisect the window before it "
-                          f"compounds.")
+                    print(f"{severity}: sustained drift -- {name} got slower "
+                          f"in each of the last {window} runs "
+                          f"({total - 1.0:+.1%} total); a creeping regression "
+                          f"the per-commit noise hides. Bisect the window "
+                          f"before it compounds.")
+                    if args.drift_gate:
+                        failures.append(f"{name} (sustained drift)")
             if faster:
                 for name, total in faster:
                     print(f"note: sustained speedup -- {name} got faster in "
@@ -384,6 +396,12 @@ def main():
                           f"{args.results} --write-baseline {args.baseline}")
             if not slower and not faster:
                 print(f"rolling window ({window} runs): no sustained drift")
+        elif args.drift_gate:
+            print(f"note: --drift-gate inactive -- {len(priors)} prior(s) "
+                  f"supplied, the sustained-drift scan needs "
+                  f">= --drift-window={window}")
+    elif args.drift_gate:
+        print("note: --drift-gate inactive -- no --prior runs supplied")
 
     if failures:
         sys.exit(f"FAIL: regression >{args.tolerance:.0%} vs baseline "

@@ -16,7 +16,13 @@ in docs/EXPERIMENTS.md). The dashboard has four sections:
   3. Conformance -- each scenario's {"type":"conformance"} summary (check
      and anomaly counts, gap/latency sketch quantiles) plus a table of
      the individual {"type":"anomaly"} records.
-  4. Perf trajectory -- scenario wall-clocks and events/sec for the
+  4. Capacity frontier -- each scenario's {"type":"frontier"} cells
+     (serve_capacity's n x load-factor x trace sweep): a per-cell table
+     (gap, events/sec, p99 ns/event, bytes/ball, peak RSS, budget-skip
+     status) plus ASCII heatmaps over the (n, load) grid per trace and
+     backend, one for final gap and one for bytes/ball, so the frontier
+     shape is visible without opening a notebook.
+  5. Perf trajectory -- scenario wall-clocks and events/sec for the
      current run, and, when prior runs are passed with --prior (oldest
      first, e.g. the sha-keyed CI artifacts), a per-scenario trend table
      AND an ASCII trend plot across the rolling window with anomaly
@@ -49,7 +55,8 @@ def load_run(path):
     def scen(name):
         return run["scenarios"].setdefault(
             name, {"metrics": None, "wall_s": None, "events_per_sec": None,
-                   "events": None, "conformance": None, "anomalies": []})
+                   "events": None, "conformance": None, "anomalies": [],
+                   "frontier": []})
 
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
@@ -69,6 +76,8 @@ def load_run(path):
                 scen(rec.get("scenario", "?"))["anomalies"].append(rec)
             elif t == "conformance":
                 scen(rec["scenario"])["conformance"] = rec
+            elif t == "frontier":
+                scen(rec["scenario"])["frontier"].append(rec)
             elif t == "scenario_end":
                 scen(rec["scenario"])["wall_s"] = float(rec["wall_s"])
             elif t == "throughput":
@@ -218,6 +227,90 @@ def print_conformance(scenario, data):
             print(f"    ... and {len(anomalies) - MAX_ANOMALY_ROWS} more")
 
 
+HEAT_SHADES = " .:-=+*#%@"
+
+
+def heat_char(value, lo, hi):
+    """Shade character for value scaled into [lo, hi]."""
+    if value is None:
+        return " "
+    if hi <= lo:
+        return HEAT_SHADES[-1]
+    frac = (value - lo) / (hi - lo)
+    return HEAT_SHADES[min(len(HEAT_SHADES) - 1, int(frac * len(HEAT_SHADES)))]
+
+
+def print_frontier_heatmap(title, ns, loads, grid, fmt):
+    """Numeric (n x load) grid, each cell suffixed with its heat shade."""
+    values = [v for row in grid for v in row if v is not None]
+    if not values:
+        return
+    lo, hi = min(values), max(values)
+    cell_w = max([len("load=" + fmt_si(l)) for l in loads]
+                 + [len(fmt(v)) + 1 for v in values])
+    label_w = max(len("n=" + fmt_si(n)) for n in ns)
+    print(f"\n    {title} (heat {HEAT_SHADES[0]!r} low .. '@' high; "
+          f"range {fmt(lo)}..{fmt(hi)})")
+    header = " " * (4 + label_w)
+    for load in loads:
+        header += f" {'load=' + fmt_si(load):>{cell_w}}"
+    print(header)
+    for i, n in enumerate(ns):
+        row = f"    {'n=' + fmt_si(n):>{label_w}}"
+        for j in range(len(loads)):
+            v = grid[i][j]
+            cell = fmt(v) + heat_char(v, lo, hi) if v is not None else "-"
+            row += f" {cell:>{cell_w}}"
+        print(row)
+
+
+def print_frontier(scenario, cells):
+    if not cells:
+        return
+    print(f"\n  capacity frontier -- {scenario} ({len(cells)} cells)")
+    print(f"    {'n':>10} {'load':>5} {'trace':28} {'backend':8} {'gap':>4}"
+          f" {'ev/s':>8} {'p99/ev':>9} {'B/ball':>7} {'rss':>7}  status")
+    for c in sorted(cells, key=lambda c: (c.get("trace", ""),
+                                          c.get("backend", ""),
+                                          c.get("n", 0),
+                                          c.get("load_factor", 0))):
+        if c.get("skipped"):
+            status = (f"SKIPPED est {fmt_si(c.get('estimated_bytes', 0))}B >"
+                      f" budget {fmt_si(c.get('budget_bytes', 0))}B")
+            print(f"    {c.get('n', 0):>10,} {c.get('load_factor', 0):>5g}"
+                  f" {c.get('trace', '?')[:28]:28} {c.get('backend', '?'):8}"
+                  f" {'-':>4} {'-':>8} {'-':>9} {'-':>7} {'-':>7}  {status}")
+            continue
+        print(f"    {c.get('n', 0):>10,} {c.get('load_factor', 0):>5g}"
+              f" {c.get('trace', '?')[:28]:28} {c.get('backend', '?'):8}"
+              f" {c.get('final_gap', 0):>4}"
+              f" {fmt_si(c.get('events_per_sec', 0)):>8}"
+              f" {fmt_ns(c.get('p99_ns_event', 0)):>9}"
+              f" {c.get('bytes_per_ball', 0):>7.1f}"
+              f" {fmt_si(c.get('peak_rss_bytes', 0)) + 'B':>7}  ok")
+
+    # Heatmaps over the (n, load) grid, one group per (trace, backend).
+    groups = {}
+    for c in cells:
+        if c.get("skipped"):
+            continue
+        groups.setdefault((c.get("trace", "?"), c.get("backend", "?")),
+                          []).append(c)
+    for (trace, backend), group in sorted(groups.items()):
+        ns = sorted({c["n"] for c in group})
+        loads = sorted({c["load_factor"] for c in group})
+        if len(ns) < 2 and len(loads) < 2:
+            continue  # a single cell has no shape to render
+        by_cell = {(c["n"], c["load_factor"]): c for c in group}
+        for metric, fmt in (("final_gap", lambda v: f"{v:g}"),
+                            ("bytes_per_ball", lambda v: f"{v:.1f}")):
+            grid = [[by_cell.get((n, l), {}).get(metric) for l in loads]
+                    for n in ns]
+            print_frontier_heatmap(
+                f"{metric} -- trace {trace}, backend {backend}",
+                ns, loads, grid, fmt)
+
+
 def print_trend_plot(name, series, markers):
     """ASCII trend plot: one column per run, marker = anomaly severity."""
     values = [v for v in series if v is not None]
@@ -327,6 +420,7 @@ def main():
                 print_phase_timing(name, data["metrics"].get("counters", {}))
                 print_counters(name, data["metrics"])
             print_conformance(name, data)
+            print_frontier(name, data.get("frontier", []))
 
     print_trajectory(current, priors)
 

@@ -1,0 +1,212 @@
+#include "capacity/capacity_loop.hpp"
+
+#include <vector>
+
+#include "obs/memory.hpp"
+#include "rng/splitmix64.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace rlslb::capacity {
+
+namespace {
+// Microseconds -> integer nanoseconds, clamped at zero (same helper the
+// dense loop uses for the serve.phase.*_ns counters).
+std::int64_t spanNs(double beginUs, double endUs) {
+  const double ns = (endUs - beginUs) * 1e3;
+  return ns > 0.0 ? static_cast<std::int64_t>(ns) : 0;
+}
+}  // namespace
+
+CapacityLoop::CapacityLoop(CompactAllocator& allocator,
+                           const CapacityLoopOptions& options)
+    : allocator_(&allocator), options_(options) {
+  RLSLB_ASSERT_MSG(options_.epochEvents >= 1,
+                   "CapacityLoopOptions.epochEvents must be >= 1");
+  RLSLB_ASSERT_MSG(options_.repairMovesPerEpoch >= 0,
+                   "CapacityLoopOptions.repairMovesPerEpoch must be >= 0");
+}
+
+void CapacityLoop::registerMetrics() {
+  obs::MetricsRegistry& m = *options_.metrics;
+  ids_.events = m.counter("serve.events");
+  ids_.epochs = m.counter("serve.epochs");
+  ids_.arrivals = m.counter("serve.arrivals");
+  ids_.departures = m.counter("serve.departures");
+  ids_.resamples = m.counter("serve.resamples");
+  ids_.migrations = m.counter("serve.migrations");
+  ids_.rejectedMoves = m.counter("serve.rejected_moves");
+  ids_.repairAttempts = m.counter("serve.repair_attempts");
+  ids_.repairMigrations = m.counter("serve.repair_migrations");
+  ids_.flushedBins = m.counter("serve.flushed_bins");
+  ids_.decideNs = m.counter("serve.phase.decide_ns");
+  ids_.applyNs = m.counter("serve.phase.apply_ns");
+  ids_.repairNs = m.counter("serve.phase.repair_ns");
+  ids_.flushNs = m.counter("serve.phase.flush_ns");
+  ids_.gap = m.gauge("serve.gap");
+  ids_.liveBalls = m.gauge("serve.live_balls");
+  ids_.totalLoad = m.gauge("serve.total_load");
+  ids_.memStateBytes = m.gauge("serve.mem.state_bytes");
+  ids_.memBytesPerBall = m.gauge("serve.mem.bytes_per_ball");
+  ids_.memPeakRss = m.gauge("serve.mem.peak_rss_bytes");
+  ids_.epochGap = m.histogram("serve.epoch_gap", {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  ids_.epochNs = m.sketch("serve.epoch_ns");
+  metricsRegistered_ = true;
+}
+
+CapacityLoop::RunResult CapacityLoop::run(
+    workload::TraceGenerator& trace,
+    const std::function<void(const serve::EpochStats&)>& onEpoch) {
+  nextOrdinal_ = 0;
+  nextEpoch_ = 0;
+  // The exact dense stream derivation (serve/event_loop.hpp exports the
+  // salts for precisely this reuse).
+  const std::uint64_t decisionSeed =
+      rng::streamSeed(options_.seed, serve::kDecisionStreamSalt);
+  const std::uint64_t repairSeed =
+      rng::streamSeed(options_.seed, serve::kRepairStreamSalt);
+
+  obs::MetricsRegistry* const metrics = options_.metrics;
+  obs::MonitorSet* const monitors = options_.monitors;
+  const bool instrumented = metrics != nullptr;
+  serve::ServeCounters prevCounters;
+  std::int64_t prevFlushedBins = 0;
+  if (metrics != nullptr) {
+    if (!metricsRegistered_) registerMetrics();
+    prevCounters = allocator_->counters();
+    prevFlushedBins = allocator_->flushedBins();
+  }
+
+  RunResult result;
+  std::vector<workload::Event> batch;
+  std::vector<serve::Decision> decisions;
+  batch.reserve(static_cast<std::size_t>(options_.epochEvents));
+
+  for (;;) {
+    batch.clear();
+    workload::Event event;
+    while (static_cast<std::int64_t>(batch.size()) < options_.epochEvents &&
+           trace.next(&event)) {
+      batch.push_back(event);
+    }
+    if (batch.empty()) break;
+
+    WallTimer wall;
+    double tEpoch0 = 0.0;
+    double tDecide1 = 0.0;
+    double tApply1 = 0.0;
+    double tRepair1 = 0.0;
+    double tFlush1 = 0.0;
+    if (instrumented) tEpoch0 = obs::nowUs();
+    const std::int64_t baseOrdinal = nextOrdinal_;
+    nextOrdinal_ += static_cast<std::int64_t>(batch.size());
+
+    if (decisions.size() < batch.size()) decisions.resize(batch.size());
+    {
+      rng::Xoshiro256pp eng;  // hoisted; reseeded per event (dense contract)
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const workload::Event& e = batch[i];
+        if (e.kind == workload::EventKind::kDepart) continue;  // no randomness
+        eng.reseed(rng::streamSeed(
+            decisionSeed,
+            static_cast<std::uint64_t>(baseOrdinal + static_cast<std::int64_t>(i))));
+        decisions[i] = allocator_->decide(e, eng);
+      }
+    }
+    if (instrumented) tDecide1 = obs::nowUs();
+
+    allocator_->applyBatch(batch.data(), decisions.data(), batch.size());
+    if (instrumented) tApply1 = obs::nowUs();
+
+    rng::Xoshiro256pp repairEng(
+        rng::streamSeed(repairSeed, static_cast<std::uint64_t>(nextEpoch_)));
+    for (int k = 0; k < options_.repairMovesPerEpoch; ++k) {
+      allocator_->repairMove(repairEng);
+    }
+    if (instrumented) tRepair1 = obs::nowUs();
+
+    allocator_->flush();
+    if (instrumented) tFlush1 = obs::nowUs();
+
+    const double epochWall = wall.seconds();
+    result.wallSeconds += epochWall;
+    result.events += static_cast<std::int64_t>(batch.size());
+    ++result.epochs;
+
+    // Outside the timed region: stats assembly, telemetry, the callback.
+    const bool wantBalance =
+        static_cast<bool>(onEpoch) || metrics != nullptr || monitors != nullptr;
+    sim::BalanceState balance;
+    if (wantBalance) balance = allocator_->balanceState();
+    const std::int64_t gap = balance.maxLoad - balance.minLoad;
+
+    if (metrics != nullptr) {
+      metrics->add(ids_.events, static_cast<std::int64_t>(batch.size()));
+      metrics->add(ids_.epochs, 1);
+      const serve::ServeCounters& c = allocator_->counters();
+      metrics->add(ids_.arrivals, c.arrivals - prevCounters.arrivals);
+      metrics->add(ids_.departures, c.departures - prevCounters.departures);
+      metrics->add(ids_.resamples, c.resamples - prevCounters.resamples);
+      metrics->add(ids_.migrations, c.migrations - prevCounters.migrations);
+      metrics->add(ids_.rejectedMoves, c.rejectedMoves - prevCounters.rejectedMoves);
+      metrics->add(ids_.repairAttempts, c.repairAttempts - prevCounters.repairAttempts);
+      metrics->add(ids_.repairMigrations,
+                   c.repairMigrations - prevCounters.repairMigrations);
+      prevCounters = c;
+      const std::int64_t flushed = allocator_->flushedBins();
+      metrics->add(ids_.flushedBins, flushed - prevFlushedBins);
+      prevFlushedBins = flushed;
+      metrics->add(ids_.decideNs, spanNs(tEpoch0, tDecide1));
+      metrics->add(ids_.applyNs, spanNs(tDecide1, tApply1));
+      metrics->add(ids_.repairNs, spanNs(tApply1, tRepair1));
+      metrics->add(ids_.flushNs, spanNs(tRepair1, tFlush1));
+      metrics->set(ids_.gap, static_cast<double>(gap));
+      metrics->set(ids_.liveBalls, static_cast<double>(allocator_->liveBalls()));
+      metrics->set(ids_.totalLoad, static_cast<double>(allocator_->totalLoad()));
+      const auto stateBytes = static_cast<double>(allocator_->residentBytes());
+      const std::int64_t live = allocator_->liveBalls();
+      metrics->set(ids_.memStateBytes, stateBytes);
+      metrics->set(ids_.memBytesPerBall,
+                   live > 0 ? stateBytes / static_cast<double>(live) : 0.0);
+      metrics->set(ids_.memPeakRss, static_cast<double>(obs::peakRssBytes()));
+      metrics->observe(ids_.epochGap, gap);
+      metrics->observeSketch(ids_.epochNs, spanNs(tEpoch0, tFlush1));
+    }
+
+    if (monitors != nullptr) {
+      obs::CheckSample sample;
+      sample.origin = obs::CheckSample::Origin::kServeEpoch;
+      sample.step = nextEpoch_;
+      sample.time = batch.back().time;
+      sample.events = static_cast<std::int64_t>(batch.size());
+      sample.wallSeconds = epochWall;
+      sample.gap = gap;
+      sample.liveBalls = allocator_->liveBalls();
+      sample.totalLoad = allocator_->totalLoad();
+      sample.maxWeight = allocator_->maxWeightSeen();
+      const serve::ServeCounters& c = allocator_->counters();
+      sample.arrivals = c.arrivals;
+      sample.departures = c.departures;
+      sample.migrations = c.migrations + c.repairMigrations;
+      monitors->check(sample);
+    }
+
+    if (onEpoch) {
+      serve::EpochStats stats;
+      stats.epoch = nextEpoch_;
+      stats.traceTime = batch.back().time;
+      stats.events = static_cast<std::int64_t>(batch.size());
+      stats.liveBalls = allocator_->liveBalls();
+      stats.totalLoad = allocator_->totalLoad();
+      stats.balance = balance;
+      stats.migrations =
+          allocator_->counters().migrations + allocator_->counters().repairMigrations;
+      stats.wallSeconds = epochWall;
+      onEpoch(stats);
+    }
+    ++nextEpoch_;
+  }
+  return result;
+}
+
+}  // namespace rlslb::capacity

@@ -56,6 +56,13 @@ class FlatMap64 {
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Allocated slot count (>= size; power of two). Exposed so owners can
+  /// account their resident bytes (obs serve.mem.* gauges) without
+  /// guessing at the load factor.
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Exact heap bytes of the slot array (capacity * sizeof(Entry),
+  /// padding included) — the capacity-planning view of this map.
+  [[nodiscard]] std::size_t heapBytes() const { return capacity_ * sizeof(Entry); }
 
   /// Pointer to the value for `key`, or nullptr. Stable until the next
   /// emplace or erase.

@@ -1,0 +1,22 @@
+// Process-memory observations for the capacity-planning layer.
+//
+// peakRssBytes() is the OS's high-water mark for this process (getrusage
+// ru_maxrss on unix; 0 where unsupported) — the honest "peak bytes" a
+// frontier cell reports next to the allocator's own residentBytes()
+// accounting. Both are wall-clock-class observations: they feed "timing"
+// and "frontier" records and the serve.mem.* gauges, never deterministic
+// "table" records (allocator growth policy and allocator reuse across
+// cells make them machine- and stdlib-dependent).
+#pragma once
+
+#include <cstdint>
+
+namespace rlslb::obs {
+
+/// Peak resident set size of this process in bytes (0 if the platform
+/// offers no getrusage). Monotone over the process lifetime: a frontier
+/// sweep's later cells report the max over every cell so far, so per-cell
+/// attribution comes from residentBytes(), not from deltas of this.
+[[nodiscard]] std::int64_t peakRssBytes();
+
+}  // namespace rlslb::obs

@@ -190,6 +190,16 @@ void ResultSink::writeConformance(const std::string& scenario, const Json& summa
   writeLine(rec);
 }
 
+void ResultSink::writeFrontier(const std::string& scenario, const Json& cell) {
+  if (out_ == nullptr) return;
+  RLSLB_ASSERT_MSG(cell.isObject(), "frontier cell must be a JSON object");
+  Json rec = Json::object();
+  rec.set("type", "frontier");
+  rec.set("scenario", scenario);
+  for (const std::string& key : cell.keys()) rec.set(key, cell.at(key));
+  writeLine(rec);
+}
+
 void ResultSink::endScenario(const std::string& name, double wallSeconds) {
   if (out_ == nullptr) return;
   Json j = Json::object();

@@ -23,14 +23,18 @@
 //   {"type":"conformance", ...}        per-scenario monitor summary: check
 //                                      and anomaly counts + gap/latency
 //                                      sketch snapshots
+//   {"type":"frontier", ...}           one capacity-sweep cell (serve_capacity):
+//                                      n, load factor, trace shape, backend,
+//                                      gap stats + events/sec, p99 ns/event,
+//                                      state bytes, bytes/ball, peak RSS
 //   {"type":"scenario_end", ...}       scenario wall-clock seconds
 //
 // Determinism contract (asserted by tests/test_scenario.cpp and relied on
 // by CI's results diff): for a fixed seed, every "scenario_start" and
 // "table" record is byte-identical across runs, thread counts, and
 // machines; all wall-clock and host-dependent data is confined to
-// "manifest", "timing", "throughput", "metrics", "conformance", and
-// "scenario_end" records ("metrics" carries phase nanoseconds, so the
+// "manifest", "timing", "throughput", "metrics", "conformance",
+// "frontier", and "scenario_end" records ("metrics" carries phase nanoseconds, so the
 // whole record type is excluded even though its semantic counters are
 // deterministic; "conformance" likewise via its latency sketch).
 // "anomaly" records from simulated-state monitors are deterministic;
@@ -113,6 +117,12 @@ class ResultSink {
   /// Per-scenario monitor summary (type "conformance"): `summary` is
   /// obs::MonitorSet::summaryJson(), fields spliced like writeMetrics.
   void writeConformance(const std::string& scenario, const Json& summary);
+  /// One capacity-sweep cell (type "frontier"): `cell` carries the sweep
+  /// coordinates and measurements (see serve_capacity). Wall-clock and
+  /// allocator-capacity bearing, hence excluded from the determinism
+  /// contract; the deterministic part of a sweep goes out as "table"
+  /// records.
+  void writeFrontier(const std::string& scenario, const Json& cell);
   void endScenario(const std::string& name, double wallSeconds);
 
   /// Escape hatch: write an arbitrary record (must be an object; a "type"

@@ -36,7 +36,8 @@ void registerOpensystem(ScenarioRegistry& r);     // e14_opensystem
 void registerTrajectory(ScenarioRegistry& r);     // e15_trajectory
 void registerAblation(ScenarioRegistry& r);       // ablation
 void registerMicroSubstrate(ScenarioRegistry& r); // micro_substrate
-void registerServe(ScenarioRegistry& r);          // serve_poisson/bursty/diurnal/adversarial
+void registerServe(ScenarioRegistry& r);          // serve_poisson/bursty/diurnal/adversarial/composed
+void registerServeCapacity(ScenarioRegistry& r);  // serve_capacity
 void registerProcessCompare(ScenarioRegistry& r); // process_compare
 
 }  // namespace rlslb::scenario::builtin

@@ -17,6 +17,7 @@ void registerBuiltinScenarios(ScenarioRegistry& registry) {
   builtin::registerAblation(registry);
   builtin::registerMicroSubstrate(registry);
   builtin::registerServe(registry);
+  builtin::registerServeCapacity(registry);
   builtin::registerProcessCompare(registry);
 }
 

@@ -15,12 +15,14 @@
 // Shared params: n (bins), events (trace length), d (arrival choices),
 // shards, epoch (events per snapshot), repair (repair moves per epoch),
 // lambda (arrivals/bin/time), mu (departure rate), resample (RLS clock
-// rate), weight (background ball weight), record=FILE (tee the trace to
-// JSONL), trace=FILE (replay a recorded JSONL trace instead of
-// generating), trace_out=FILE (write a Chrome/Perfetto trace of the loop's
-// phases). Kind-specific params are listed at each builder.
+// rate), weight (background ball weight), record=FILE (tee the trace out;
+// JSONL/CSV/binary by extension), trace=FILE (replay a recorded trace
+// instead of generating; format by extension), trace_out=FILE (write a
+// Chrome/Perfetto trace of the loop's phases). Kind-specific params are
+// listed at each builder.
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -33,6 +35,7 @@
 #include "util/assert.hpp"
 #include "serve/event_loop.hpp"
 #include "serve/online_allocator.hpp"
+#include "workload/compose.hpp"
 #include "workload/generators.hpp"
 #include "workload/trace_io.hpp"
 
@@ -74,6 +77,16 @@ std::unique_ptr<workload::TraceGenerator> buildTrace(ScenarioContext& ctx,
     o.amplitude = ctx.params.getDouble("amplitude", 0.8);
     o.period = ctx.params.getDouble("period", 64.0);
     return std::make_unique<workload::DiurnalTrace>(o, seed);
+  }
+  if (kind == "composed") {
+    const std::string spec = ctx.params.getString(
+        "spec", "diurnal(0.8,64)*bursty(8,0.05,0.5)+hotspot(16,32,8)");
+    workload::ComposeSpec parsed;
+    std::string error;
+    const bool ok = workload::parseComposeSpec(spec, &parsed, &error);
+    if (!ok) std::fprintf(stderr, "serve_composed: bad spec= (%s)\n", error.c_str());
+    RLSLB_ASSERT_MSG(ok, "spec= does not parse; see rlslb traces for the algebra");
+    return std::make_unique<workload::ComposedTrace>(base, std::move(parsed), seed);
   }
   RLSLB_ASSERT(kind == "adversarial");
   workload::HotspotTraceOptions o;
@@ -140,26 +153,25 @@ void runServe(ScenarioContext& ctx, const std::string& kind) {
                    "exclusive; a replayed trace is already on disk");
   if (!replayPath.empty()) {
     // The epoch/checkpoint/warmup math below needs the true trace length,
-    // which for a replay is the file, not the `events` param.
+    // which for a replay is the file, not the `events` param. The format
+    // (JSONL / CSV / binary) follows the file extension.
+    const workload::TraceFormat replayFormat = workload::traceFormatFromPath(replayPath);
     {
-      std::ifstream count(replayPath);
+      std::ifstream count(replayPath, std::ios::binary);
       RLSLB_ASSERT_MSG(count.is_open(), "cannot open trace= replay file");
-      events = 0;
-      std::string line;
-      while (std::getline(count, line)) {
-        if (!line.empty()) ++events;
-      }
+      events = workload::countTraceEvents(count, replayFormat);
       RLSLB_ASSERT_MSG(events > 0, "trace= replay file holds no events");
     }
-    replayIn.open(replayPath);
+    replayIn.open(replayPath, std::ios::binary);
     RLSLB_ASSERT_MSG(replayIn.is_open(), "cannot open trace= replay file");
-    source = std::make_unique<workload::JsonlTraceReader>(replayIn);
+    source = workload::makeTraceReader(replayIn, replayFormat);
   } else {
     generated = buildTrace(ctx, kind, n, events, traceSeed);
     if (!recordPath.empty()) {
-      recordOut.open(recordPath);
+      recordOut.open(recordPath, std::ios::binary);
       RLSLB_ASSERT_MSG(recordOut.is_open(), "cannot open record= output file");
-      source = std::make_unique<workload::RecordingTrace>(*generated, recordOut);
+      source = std::make_unique<workload::RecordingTrace>(
+          *generated, recordOut, workload::traceFormatFromPath(recordPath));
     } else {
       source = std::move(generated);
     }
@@ -449,8 +461,10 @@ void registerServe(ScenarioRegistry& r) {
       {"invert", "bool", "0",
        "TEST HOOK: invert the allocator's acceptance rule (drives the gap up; "
        "pairs with conformance=1 to demo anomaly detection)"},
-      {"record", "string", "(off)", "tee the generated trace to this JSONL file"},
-      {"trace", "string", "(off)", "replay a recorded JSONL trace instead of generating"},
+      {"record", "string", "(off)",
+       "tee the generated trace to this file (.jsonl/.csv/.bin by extension)"},
+      {"trace", "string", "(off)",
+       "replay a recorded trace instead of generating (.jsonl/.csv/.bin by extension)"},
       {"trace_out", "string", "(off)",
        "write a Chrome/Perfetto trace of this run's phases to FILE"},
   };
@@ -475,6 +489,9 @@ void registerServe(ScenarioRegistry& r) {
       {{"burst_period", "double", "16.0", "time between synchronized bursts"},
        {"burst_size", "int", "32", "balls per burst"},
        {"hot_weight", "int", "8", "weight of each burst ball"}});
+  add("composed", "composable trace algebra (sum/modulate/overlay of factors)",
+      {{"spec", "string", "diurnal(0.8,64)*bursty(8,0.05,0.5)+hotspot(16,32,8)",
+        "trace algebra spec; factors/combinators listed by `rlslb traces`"}});
   r.add({"serve_scaling",
          "online serving: shard-scaling sweep of the partitioned apply (per-row "
          "throughput records, byte-identical final states)",

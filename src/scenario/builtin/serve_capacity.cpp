@@ -1,0 +1,354 @@
+// serve_capacity -- the cluster-scale capacity-planning frontier sweep.
+//
+// Sweeps the serving subsystem across n (bins) x load factor (lambda/mu)
+// x trace shape (workload/compose.hpp specs) under a memory budget and
+// reports, per cell:
+//   - a deterministic sweep table (final/mean/max gap, arrivals,
+//     migrations, ok/skipped status) -- byte-identical for a fixed seed;
+//   - a timing table and one {"type":"frontier"} JSONL record with the
+//     wall-clock and memory measurements: events/sec, p99 ns/event,
+//     resident state bytes, bytes per ball, peak RSS
+//     (scripts/perf_report.py renders the frontier heatmap from these);
+//   - cells whose predicted state would blow the budget_mb gate are
+//     skipped deterministically (CompactAllocator::estimateBytes), with a
+//     "skipped" row and a frontier record carrying the estimate.
+//
+// backend=compact (default) runs capacity::CompactAllocator under the
+// sequential capacity::CapacityLoop; backend=dense runs the same cells
+// through the dense OnlineAllocator + ShardedEventLoop. Cell seeds do not
+// include the backend, so the two backends replay identical traces and --
+// by the equivalence contract pinned in tests/test_capacity.cpp -- land on
+// byte-identical deterministic tables; only the memory/timing columns
+// differ. That is the bytes-per-ball before/after experiment in
+// docs/EXPERIMENTS.md.
+//
+// Params: n_list (csv bins sweep), load_list (csv lambda/mu sweep; mu =
+// lambda/L with lambda fixed at 1), traces (';'-separated compose specs),
+// epb (events per expected ball, scaled), epoch, repair, d, resample,
+// backend, budget_mb, conformance. The compact backend requires unit
+// weights: hotspot factors must use weight 1.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity_loop.hpp"
+#include "capacity/compact_allocator.hpp"
+#include "obs/memory.hpp"
+#include "obs/monitor.hpp"
+#include "rng/splitmix64.hpp"
+#include "scenario/builtin/builtin.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/online_allocator.hpp"
+#include "util/assert.hpp"
+#include "workload/compose.hpp"
+#include "workload/generators.hpp"
+
+namespace rlslb::scenario::builtin {
+
+namespace {
+
+std::vector<std::string> splitList(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    const std::string token =
+        text.substr(start, end == std::string::npos ? std::string::npos : end - start);
+    RLSLB_ASSERT_MSG(!token.empty(), "empty entry in a list param");
+    out.push_back(token);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  RLSLB_ASSERT_MSG(!out.empty(), "list param must not be empty");
+  return out;
+}
+
+/// Rough dense-backend footprint for the budget gate (FlatMap ball records
+/// at <= 3/4 load plus per-bin vectors); the compact side uses the exact
+/// CompactAllocator::estimateBytes.
+std::int64_t denseEstimateBytes(std::int64_t bins, std::int64_t liveBalls) {
+  return liveBalls * 56 + bins * 64;
+}
+
+struct CellResult {
+  std::int64_t events = 0;
+  std::int64_t epochs = 0;
+  double wallSeconds = 0.0;
+  std::int64_t arrivals = 0;
+  std::int64_t migrations = 0;
+  std::int64_t finalGap = 0;
+  double meanGap = 0.0;
+  std::int64_t maxGap = 0;
+  double p99Ns = 0.0;
+  std::int64_t stateBytes = 0;
+  std::int64_t liveBalls = 0;
+};
+
+void runCapacity(ScenarioContext& ctx) {
+  const std::vector<std::string> nTokens =
+      splitList(ctx.params.getString("n_list", "1000000"), ',');
+  const std::vector<std::string> loadTokens =
+      splitList(ctx.params.getString("load_list", "8"), ',');
+  const std::vector<std::string> traceSpecs =
+      splitList(ctx.params.getString("traces", "poisson"), ';');
+  const std::int64_t epb = ctx.params.getInt("epb", ctx.sized(4));
+  const std::int64_t epochEvents = ctx.params.getInt("epoch", 1024);
+  const int repair = static_cast<int>(ctx.params.getInt("repair", 4));
+  const int d = static_cast<int>(ctx.params.getInt("d", 2));
+  const double resample = ctx.params.getDouble("resample", 1.0);
+  const std::string backend = ctx.params.getString("backend", "compact");
+  const std::int64_t budgetMb = ctx.params.getInt("budget_mb", 2048);
+  const bool conformance = ctx.params.getBool("conformance", ctx.conformanceDefault);
+  RLSLB_ASSERT_MSG(backend == "compact" || backend == "dense",
+                   "backend= must be compact or dense");
+  RLSLB_ASSERT_MSG(epb >= 1 && epochEvents >= 1, "epb and epoch must be >= 1");
+
+  std::vector<std::int64_t> nList;
+  for (const std::string& t : nTokens) {
+    const std::int64_t n = std::stoll(t);
+    RLSLB_ASSERT_MSG(n >= 1, "n_list entries must be >= 1");
+    nList.push_back(n);
+  }
+  std::vector<double> loadList;
+  for (const std::string& t : loadTokens) {
+    const double load = std::stod(t);
+    RLSLB_ASSERT_MSG(load > 0.0, "load_list entries must be > 0");
+    loadList.push_back(load);
+  }
+  std::vector<workload::ComposeSpec> specs;
+  for (const std::string& t : traceSpecs) {
+    workload::ComposeSpec spec;
+    std::string error;
+    const bool ok = workload::parseComposeSpec(t, &spec, &error);
+    if (!ok) std::fprintf(stderr, "serve_capacity: bad traces= entry (%s)\n", error.c_str());
+    RLSLB_ASSERT_MSG(ok, "traces= entry does not parse; see `rlslb traces`");
+    for (const std::vector<workload::ComposeFactor>& term : spec.terms) {
+      for (const workload::ComposeFactor& f : term) {
+        RLSLB_ASSERT_MSG(f.kind != workload::ComposeFactor::Kind::kHotspot || f.c == 1.0,
+                         "capacity sweeps run unit weights; use hotspot(period,size,1)");
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  // Conformance monitors bind to one (n, expected balls, epochs) shape at
+  // install time, so they attach only when the sweep holds n and load
+  // fixed (the CI smoke configuration); trace shape may still vary.
+  const bool monitorable = nList.size() == 1 && loadList.size() == 1;
+  if (conformance && !monitorable) {
+    ctx.note("conformance monitors attach only to single-(n,load) capacity sweeps; "
+             "disabled for this sweep");
+  }
+  const bool useMonitors = conformance && monitorable;
+  if (useMonitors) {
+    obs::ServeConformanceParams cp;
+    cp.n = nList.front();
+    cp.expectedBalls =
+        static_cast<std::int64_t>(loadList.front() * static_cast<double>(nList.front()));
+    cp.d = d;
+    const std::int64_t cellEvents = epb * cp.expectedBalls;
+    cp.totalEpochs = (cellEvents + epochEvents - 1) / epochEvents;
+    obs::installServeMonitors(ctx.monitors, cp);
+  }
+
+  Table sweep({"n", "load", "trace", "backend", "events", "arrivals", "migrations",
+               "final gap", "mean gap", "max gap", "status"});
+  Table timing({"n", "load", "trace", "loop wall s", "events/sec", "p99 ns/event",
+                "state MB", "bytes/ball", "peak RSS MB"});
+
+  for (const std::int64_t n : nList) {
+    for (const double load : loadList) {
+      for (const workload::ComposeSpec& spec : specs) {
+        const std::string traceName = spec.canonical();
+        const auto expectedLive = static_cast<std::int64_t>(load * static_cast<double>(n));
+        const std::int64_t events = epb * expectedLive;
+        RLSLB_ASSERT_MSG(events >= 1, "cell has no events; raise epb or load");
+        // Deterministic arrival-share heuristic for the budget gate: at
+        // steady state the event mix is lambda*n arrivals vs
+        // (mu + resample) * L * n departures/resamples per unit time.
+        const double mu = 1.0 / load;
+        const double arrivalShare = 1.0 / (1.0 + (mu + resample) * load);
+        const auto ballsEverEstimate =
+            expectedLive + static_cast<std::int64_t>(arrivalShare * static_cast<double>(events));
+        const std::int64_t estimate =
+            backend == "compact"
+                ? capacity::CompactAllocator::estimateBytes(n, ballsEverEstimate, expectedLive)
+                : denseEstimateBytes(n, expectedLive);
+        const std::string loadText = report::formatJsonNumber(load);
+
+        report::Json cell = report::Json::object();
+        cell.set("n", n);
+        cell.set("load_factor", load);
+        cell.set("trace", traceName);
+        cell.set("backend", backend);
+
+        if (budgetMb > 0 && estimate > budgetMb * 1024 * 1024) {
+          sweep.row().cell(n).cell(loadText).cell(traceName).cell(backend).cell(events)
+              .cell(0).cell(0).cell(0).cell(0.0, 4).cell(0).cell("skipped");
+          cell.set("skipped", true);
+          cell.set("estimated_bytes", estimate);
+          cell.set("budget_bytes", budgetMb * 1024 * 1024);
+          if (ctx.sink != nullptr) ctx.sink->writeFrontier(ctx.activeScenario, cell);
+          ctx.note("[capacity] skipped n=" + std::to_string(n) + " load=" + loadText +
+                   " trace=" + traceName + ": estimated " +
+                   std::to_string(estimate / (1024 * 1024)) + " MB > budget " +
+                   std::to_string(budgetMb) + " MB");
+          continue;
+        }
+
+        // Cell seed from the sweep coordinates only -- NOT the backend --
+        // so compact and dense replay identical traces and streams.
+        const std::uint64_t cellSeed = rng::streamSeed(
+            ctx.seed, stableHash("capacity:" + std::to_string(n) + ":" + loadText +
+                                 ":" + traceName));
+        const std::uint64_t traceSeed = rng::streamSeed(cellSeed, stableHash("trace"));
+        workload::OpenTraceOptions base;
+        base.bins = n;
+        base.arrivalRatePerBin = 1.0;
+        base.departureRate = mu;
+        base.resampleRate = resample;
+        base.ballWeight = 1;
+        base.maxEvents = events;
+        workload::ComposedTrace trace(base, spec, traceSeed);
+
+        const std::int64_t totalEpochs = (events + epochEvents - 1) / epochEvents;
+        const std::int64_t warmupEpochs = totalEpochs / 4;
+        if (useMonitors) ctx.monitors.beginRun();
+        obs::MonitorSet* const monitors = useMonitors ? &ctx.monitors : nullptr;
+
+        CellResult r;
+        double gapSum = 0.0;
+        std::int64_t gapEpochs = 0;
+        std::vector<double> epochNs;
+        const auto onEpoch = [&](const serve::EpochStats& s) {
+          if (s.epoch >= warmupEpochs) {
+            gapSum += static_cast<double>(s.gap());
+            ++gapEpochs;
+            if (s.gap() > r.maxGap) r.maxGap = s.gap();
+          }
+          if (s.events > 0) {
+            epochNs.push_back(s.wallSeconds * 1e9 / static_cast<double>(s.events));
+          }
+        };
+
+        if (backend == "compact") {
+          capacity::CompactOptions opt;
+          opt.bins = n;
+          opt.arrivalChoices = d;
+          capacity::CompactAllocator allocator(opt);
+          capacity::CapacityLoopOptions loopOptions;
+          loopOptions.epochEvents = epochEvents;
+          loopOptions.repairMovesPerEpoch = repair;
+          loopOptions.seed = cellSeed;
+          loopOptions.metrics = &ctx.metrics;
+          loopOptions.monitors = monitors;
+          capacity::CapacityLoop loop(allocator, loopOptions);
+          const capacity::CapacityLoop::RunResult run = loop.run(trace, onEpoch);
+          r.events = run.events;
+          r.epochs = run.epochs;
+          r.wallSeconds = run.wallSeconds;
+          r.arrivals = allocator.counters().arrivals;
+          r.migrations =
+              allocator.counters().migrations + allocator.counters().repairMigrations;
+          r.finalGap = allocator.gap();
+          r.stateBytes = allocator.residentBytes();
+          r.liveBalls = allocator.liveBalls();
+        } else {
+          serve::AllocatorOptions opt;
+          opt.bins = n;
+          opt.arrivalChoices = d;
+          serve::OnlineAllocator allocator(opt);
+          serve::LoopOptions loopOptions;
+          loopOptions.shards = static_cast<int>(ctx.params.getInt("shards", 1));
+          loopOptions.epochEvents = epochEvents;
+          loopOptions.repairMovesPerEpoch = repair;
+          loopOptions.seed = cellSeed;
+          loopOptions.metrics = &ctx.metrics;
+          loopOptions.monitors = monitors;
+          serve::ShardedEventLoop loop(allocator, loopOptions, ctx.pool());
+          const serve::ShardedEventLoop::RunResult run = loop.run(trace, onEpoch);
+          r.events = run.events;
+          r.epochs = run.epochs;
+          r.wallSeconds = run.wallSeconds;
+          r.arrivals = allocator.counters().arrivals;
+          r.migrations =
+              allocator.counters().migrations + allocator.counters().repairMigrations;
+          r.finalGap = allocator.gap();
+          r.stateBytes = allocator.residentBytes();
+          r.liveBalls = allocator.liveBalls();
+        }
+        r.meanGap = gapEpochs > 0 ? gapSum / static_cast<double>(gapEpochs) : 0.0;
+        std::sort(epochNs.begin(), epochNs.end());
+        r.p99Ns = epochNs.empty()
+                      ? 0.0
+                      : epochNs[static_cast<std::size_t>(
+                            static_cast<double>(epochNs.size() - 1) * 0.99)];
+        const double eventsPerSec =
+            r.wallSeconds > 0.0 ? static_cast<double>(r.events) / r.wallSeconds : 0.0;
+        const double bytesPerBall =
+            r.liveBalls > 0
+                ? static_cast<double>(r.stateBytes) / static_cast<double>(r.liveBalls)
+                : 0.0;
+        const std::int64_t peakRss = obs::peakRssBytes();
+
+        sweep.row().cell(n).cell(loadText).cell(traceName).cell(backend).cell(r.events)
+            .cell(r.arrivals).cell(r.migrations).cell(r.finalGap).cell(r.meanGap, 4)
+            .cell(r.maxGap).cell("ok");
+        timing.row().cell(n).cell(loadText).cell(traceName).cell(r.wallSeconds, 4)
+            .cell(eventsPerSec, 6).cell(r.p99Ns, 4)
+            .cell(static_cast<double>(r.stateBytes) / (1024.0 * 1024.0), 2)
+            .cell(bytesPerBall, 2)
+            .cell(static_cast<double>(peakRss) / (1024.0 * 1024.0), 2);
+
+        cell.set("events", r.events);
+        cell.set("epochs", r.epochs);
+        cell.set("arrivals", r.arrivals);
+        cell.set("live_balls", r.liveBalls);
+        cell.set("final_gap", r.finalGap);
+        cell.set("mean_gap", r.meanGap);
+        cell.set("max_gap", r.maxGap);
+        cell.set("events_per_sec", eventsPerSec);
+        cell.set("p99_ns_event", r.p99Ns);
+        cell.set("state_bytes", r.stateBytes);
+        cell.set("bytes_per_ball", bytesPerBall);
+        cell.set("peak_rss_bytes", peakRss);
+        if (ctx.sink != nullptr) ctx.sink->writeFrontier(ctx.activeScenario, cell);
+      }
+    }
+  }
+
+  ctx.emitTable(sweep, "[capacity] frontier sweep, backend=" + backend +
+                           " (deterministic gap/counter view; skipped = over budget_mb)");
+  ctx.emitTimingTable(timing, "[capacity] frontier wall-clock and memory "
+                              "(events/sec, p99 ns/event, resident state, bytes/ball)");
+}
+
+}  // namespace
+
+void registerServeCapacity(ScenarioRegistry& r) {
+  r.add({"serve_capacity",
+         "capacity planning: n x load x trace frontier sweep of the compact serving "
+         "backend under a memory budget",
+         "cluster-scale capacity frontier (Section 7 outlook)",
+         runCapacity,
+         {{"n_list", "string", "1000000", "bins sweep (csv)"},
+          {"load_list", "string", "8", "load factors lambda/mu to sweep (csv)"},
+          {"traces", "string", "poisson",
+           "';'-separated compose specs (workload algebra; see `rlslb traces`)"},
+          {"epb", "int", "4 (scaled)", "events per expected ball (cell length)"},
+          {"epoch", "int", "1024", "events per load snapshot"},
+          {"repair", "int", "4", "RLS repair moves per epoch"},
+          {"d", "int", "2", "arrival choices"},
+          {"resample", "double", "1.0", "per-ball RLS clock rate"},
+          {"backend", "string", "compact",
+           "compact (CompactAllocator) or dense (OnlineAllocator) serving state"},
+          {"shards", "int", "1", "dense-backend ownership shards (ignored for compact)"},
+          {"budget_mb", "int", "2048",
+           "skip cells whose predicted state exceeds this many MB (0 = no gate)"},
+          {"conformance", "bool", "0 (run default)",
+           "attach the serve monitor roster (single-(n,load) sweeps only)"}}});
+}
+
+}  // namespace rlslb::scenario::builtin

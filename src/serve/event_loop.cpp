@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/memory.hpp"
 #include "rng/splitmix64.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -9,9 +10,6 @@
 namespace rlslb::serve {
 
 namespace {
-constexpr std::uint64_t kDecisionSalt = 0x64656373ULL;  // "decs"
-constexpr std::uint64_t kRepairSalt = 0x72657061ULL;    // "repa"
-
 // Below this many queued ops an epoch drains inline: the parallelFor
 // dispatch overhead would dominate the O(log n) materialization work.
 constexpr std::int64_t kParallelDrainThreshold = 64;
@@ -75,6 +73,12 @@ void ShardedEventLoop::registerMetrics() {
   ids_.totalLoad = m.gauge("serve.total_load");
   ids_.applyShards = m.gauge("serve.apply_shards");
   ids_.queuePeak = m.gauge("serve.queue_peak");
+  // Capacity-planning gauges: allocator state bytes (capacity-based
+  // accounting), bytes per live ball, and the process peak RSS, sampled at
+  // every epoch boundary (outside the timed region).
+  ids_.memStateBytes = m.gauge("serve.mem.state_bytes");
+  ids_.memBytesPerBall = m.gauge("serve.mem.bytes_per_ball");
+  ids_.memPeakRss = m.gauge("serve.mem.peak_rss_bytes");
   ids_.epochGap = m.histogram("serve.epoch_gap", {0, 1, 2, 4, 8, 16, 32, 64, 128});
   ids_.epochNs = m.sketch("serve.epoch_ns");
   metricsRegistered_ = true;
@@ -87,8 +91,8 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
   // trace (allocator state, by design, carries over).
   nextOrdinal_ = 0;
   nextEpoch_ = 0;
-  const std::uint64_t decisionSeed = rng::streamSeed(options_.seed, kDecisionSalt);
-  const std::uint64_t repairSeed = rng::streamSeed(options_.seed, kRepairSalt);
+  const std::uint64_t decisionSeed = rng::streamSeed(options_.seed, kDecisionStreamSalt);
+  const std::uint64_t repairSeed = rng::streamSeed(options_.seed, kRepairStreamSalt);
   const auto shards = static_cast<std::size_t>(options_.shards);
 
   const bool partitioned = usesPartitionedApply();
@@ -324,6 +328,12 @@ ShardedEventLoop::RunResult ShardedEventLoop::run(
       metrics->set(ids_.totalLoad, static_cast<double>(allocator_->totalLoad()));
       metrics->set(ids_.applyShards, static_cast<double>(applyShards));
       metrics->setMax(ids_.queuePeak, static_cast<double>(queuePeak));
+      const auto stateBytes = static_cast<double>(allocator_->residentBytes());
+      const std::int64_t live = allocator_->liveBalls();
+      metrics->set(ids_.memStateBytes, stateBytes);
+      metrics->set(ids_.memBytesPerBall,
+                   live > 0 ? stateBytes / static_cast<double>(live) : 0.0);
+      metrics->set(ids_.memPeakRss, static_cast<double>(obs::peakRssBytes()));
       metrics->observe(ids_.epochGap, gap);
       metrics->observeSketch(ids_.epochNs, spanNs(tEpoch0, tFlush1));
     }

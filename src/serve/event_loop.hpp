@@ -69,6 +69,14 @@
 
 namespace rlslb::serve {
 
+/// Stream salts for the loop's two rng families, derived from
+/// LoopOptions.seed via rng::streamSeed. Exported (rather than file-local
+/// to event_loop.cpp) so alternative executors of the same dynamic — the
+/// capacity loop's compact backend (capacity/capacity_loop.hpp) — can
+/// reproduce the decision and repair streams byte-for-byte.
+inline constexpr std::uint64_t kDecisionStreamSalt = 0x64656373ULL;  // "decs"
+inline constexpr std::uint64_t kRepairStreamSalt = 0x72657061ULL;    // "repa"
+
 /// How the apply phase executes. Semantics are identical in all modes;
 /// this only picks the execution strategy.
 enum class ApplyMode : std::uint8_t {
@@ -169,6 +177,7 @@ class ShardedEventLoop {
     obs::CounterId queuedOps, crossShardOps, flushedBins, drainedOps;
     obs::CounterId decideNs, resolveNs, drainNs, applyNs, repairNs, flushNs;
     obs::GaugeId gap, liveBalls, totalLoad, applyShards, queuePeak;
+    obs::GaugeId memStateBytes, memBytesPerBall, memPeakRss;
     obs::HistId epochGap;
     obs::SketchId epochNs;
   };

@@ -432,6 +432,24 @@ void OnlineAllocator::materializeRemove(Shard& shard, const BinOp& op) {
   shard.balls.erase(it);
 }
 
+std::int64_t OnlineAllocator::residentBytes() const {
+  auto vecBytes = [](const auto& v) {
+    return static_cast<std::int64_t>(v.capacity() * sizeof(v[0]));
+  };
+  std::int64_t bytes = vecBytes(loads_) + vecBytes(dirtyMark_);
+  bytes += static_cast<std::int64_t>(router_.heapBytes());
+  for (const Shard& shard : shards_) {
+    bytes += vecBytes(shard.binLoad) + vecBytes(shard.dirty);
+    // Fenwick: n + 1 nodes of the element type.
+    bytes += static_cast<std::int64_t>((shard.mass.size() + 1) * sizeof(std::int64_t));
+    bytes += static_cast<std::int64_t>(shard.binBalls.capacity() *
+                                       sizeof(std::vector<std::int64_t>));
+    for (const auto& slot : shard.binBalls) bytes += vecBytes(slot);
+    bytes += static_cast<std::int64_t>(shard.balls.heapBytes());
+  }
+  return bytes;
+}
+
 std::int64_t OnlineAllocator::minLoad() const {
   // Accessors are sequential-only by contract (see header), so the lazy
   // flush is safe; after the event loop's in-timer flush it is a no-op.

@@ -219,6 +219,14 @@ class OnlineAllocator {
     return total;
   }
 
+  /// Heap bytes currently held by the allocator's state structures
+  /// (capacity-based: load arrays, Fenwick trees, per-bin ball lists, ball
+  /// maps, router). O(bins); sampled by the event loop at epoch boundaries
+  /// for the serve.mem.* gauges — a capacity-planning observation, never
+  /// part of the deterministic "table" records (vector growth policy is
+  /// stdlib-dependent).
+  [[nodiscard]] std::int64_t residentBytes() const;
+
   /// Internal-consistency scan across every shard, the global load array,
   /// and the router when enabled (O(n + m); tests only).
   [[nodiscard]] bool validate() const;

@@ -1,5 +1,7 @@
 #include "workload/trace_io.hpp"
 
+#include <bit>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 
@@ -7,6 +9,26 @@
 #include "util/assert.hpp"
 
 namespace rlslb::workload {
+
+const char* traceFormatName(TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kJsonl: return "jsonl";
+    case TraceFormat::kCsv: return "csv";
+    case TraceFormat::kBinary: return "binary";
+  }
+  RLSLB_ASSERT_MSG(false, "unknown TraceFormat");
+  return "?";
+}
+
+TraceFormat traceFormatFromPath(const std::string& path) {
+  const auto endsWith = [&path](const char* suffix) {
+    const std::string s(suffix);
+    return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (endsWith(".csv")) return TraceFormat::kCsv;
+  if (endsWith(".bin")) return TraceFormat::kBinary;
+  return TraceFormat::kJsonl;
+}
 
 std::string formatTraceEvent(const Event& event) {
   std::string out = "{\"t\":";
@@ -48,9 +70,116 @@ bool parseTraceEvent(const std::string& line, Event* out, std::string* error) {
   return true;
 }
 
+std::string formatTraceEventCsv(const Event& event) {
+  std::string out = report::formatJsonNumber(event.time);
+  out += ',';
+  out += kindName(event.kind);
+  out += ',';
+  out += std::to_string(event.ball);
+  out += ',';
+  out += std::to_string(event.weight);
+  return out;
+}
+
+bool parseTraceEventCsv(const std::string& line, Event* out, std::string* error) {
+  const auto fail = [&](const char* message) {
+    if (error != nullptr) *error = std::string(message) + ": " + line;
+    return false;
+  };
+  std::size_t fieldStart[4];
+  std::size_t fieldEnd[4];
+  std::size_t pos = 0;
+  for (int f = 0; f < 4; ++f) {
+    fieldStart[f] = pos;
+    const std::size_t comma = line.find(',', pos);
+    if (f < 3) {
+      if (comma == std::string::npos) return fail("CSV trace row needs 4 fields");
+      fieldEnd[f] = comma;
+      pos = comma + 1;
+    } else {
+      if (comma != std::string::npos) return fail("CSV trace row has extra fields");
+      fieldEnd[f] = line.size();
+    }
+  }
+  const auto field = [&](int f) {
+    return line.substr(fieldStart[f], fieldEnd[f] - fieldStart[f]);
+  };
+  const auto parseInt = [&](int f, std::int64_t* value) {
+    const std::string text = field(f);
+    char* end = nullptr;
+    *value = std::strtoll(text.c_str(), &end, 10);
+    return end != text.c_str() && *end == '\0';
+  };
+  {
+    const std::string text = field(0);
+    char* end = nullptr;
+    out->time = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') return fail("bad CSV timestamp");
+  }
+  if (!kindFromName(field(1), &out->kind)) return fail("unknown CSV event kind");
+  if (!parseInt(2, &out->ball)) return fail("bad CSV ball id");
+  if (!parseInt(3, &out->weight)) return fail("bad CSV weight");
+  return true;
+}
+
+namespace {
+void appendLe64(std::string* out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) out->push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+}
+std::uint64_t readLe64(const unsigned char* bytes) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < 8; ++b) v |= static_cast<std::uint64_t>(bytes[b]) << (8 * b);
+  return v;
+}
+}  // namespace
+
+void appendTraceEventBinary(std::string* out, const Event& event) {
+  appendLe64(out, std::bit_cast<std::uint64_t>(event.time));
+  out->push_back(static_cast<char>(event.kind));
+  appendLe64(out, static_cast<std::uint64_t>(event.ball));
+  appendLe64(out, static_cast<std::uint64_t>(event.weight));
+}
+
+bool decodeTraceEventBinary(const unsigned char* bytes, Event* out, std::string* error) {
+  out->time = std::bit_cast<double>(readLe64(bytes));
+  const unsigned char kind = bytes[8];
+  if (kind > static_cast<unsigned char>(EventKind::kResample)) {
+    if (error != nullptr) *error = "bad binary trace kind byte " + std::to_string(kind);
+    return false;
+  }
+  out->kind = static_cast<EventKind>(kind);
+  out->ball = static_cast<std::int64_t>(readLe64(bytes + 9));
+  out->weight = static_cast<std::int64_t>(readLe64(bytes + 17));
+  return true;
+}
+
+RecordingTrace::RecordingTrace(TraceGenerator& inner, std::ostream& out,
+                               TraceFormat format)
+    : inner_(&inner), out_(&out), format_(format) {
+  switch (format_) {
+    case TraceFormat::kJsonl: break;
+    case TraceFormat::kCsv: *out_ << kTraceCsvHeader << '\n'; break;
+    case TraceFormat::kBinary: out_->write(kTraceBinaryMagic, 4); break;
+  }
+}
+
 bool RecordingTrace::next(Event* out) {
   if (!inner_->next(out)) return false;
-  *out_ << formatTraceEvent(*out) << '\n';
+  switch (format_) {
+    case TraceFormat::kJsonl:
+      *out_ << formatTraceEvent(*out) << '\n';
+      break;
+    case TraceFormat::kCsv:
+      *out_ << formatTraceEventCsv(*out) << '\n';
+      break;
+    case TraceFormat::kBinary: {
+      std::string record;
+      record.reserve(kTraceBinaryRecordBytes);
+      appendTraceEventBinary(&record, *out);
+      out_->write(record.data(), static_cast<std::streamsize>(record.size()));
+      break;
+    }
+  }
   return true;
 }
 
@@ -65,6 +194,65 @@ bool JsonlTraceReader::next(Event* out) {
     return true;
   }
   return false;
+}
+
+bool CsvTraceReader::next(Event* out) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    if (!headerChecked_) {
+      headerChecked_ = true;
+      if (line == kTraceCsvHeader) continue;
+      std::fprintf(stderr, "trace replay: missing CSV header '%s'\n", kTraceCsvHeader);
+      RLSLB_ASSERT_MSG(false, "CSV trace must start with the t,kind,ball,w header");
+    }
+    if (line.empty()) continue;
+    std::string error;
+    const bool ok = parseTraceEventCsv(line, out, &error);
+    if (!ok) std::fprintf(stderr, "trace replay: %s\n", error.c_str());
+    RLSLB_ASSERT_MSG(ok, "malformed CSV trace row; a corrupt trace must not truncate silently");
+    return true;
+  }
+  return false;
+}
+
+bool BinaryTraceReader::next(Event* out) {
+  if (!magicChecked_) {
+    magicChecked_ = true;
+    char magic[4] = {};
+    in_->read(magic, 4);
+    const bool ok = in_->gcount() == 4 && std::string(magic, 4) == kTraceBinaryMagic;
+    if (!ok) std::fprintf(stderr, "trace replay: missing RLT1 binary magic\n");
+    RLSLB_ASSERT_MSG(ok, "binary trace must start with the RLT1 magic");
+  }
+  unsigned char record[kTraceBinaryRecordBytes];
+  in_->read(reinterpret_cast<char*>(record), kTraceBinaryRecordBytes);
+  if (in_->gcount() == 0) return false;
+  const bool whole = in_->gcount() == static_cast<std::streamsize>(kTraceBinaryRecordBytes);
+  if (!whole) std::fprintf(stderr, "trace replay: truncated binary record\n");
+  RLSLB_ASSERT_MSG(whole, "truncated binary trace record");
+  std::string error;
+  const bool ok = decodeTraceEventBinary(record, out, &error);
+  if (!ok) std::fprintf(stderr, "trace replay: %s\n", error.c_str());
+  RLSLB_ASSERT_MSG(ok, "malformed binary trace record");
+  return true;
+}
+
+std::unique_ptr<TraceGenerator> makeTraceReader(std::istream& in, TraceFormat format) {
+  switch (format) {
+    case TraceFormat::kJsonl: return std::make_unique<JsonlTraceReader>(in);
+    case TraceFormat::kCsv: return std::make_unique<CsvTraceReader>(in);
+    case TraceFormat::kBinary: return std::make_unique<BinaryTraceReader>(in);
+  }
+  RLSLB_ASSERT_MSG(false, "unknown TraceFormat");
+  return nullptr;
+}
+
+std::int64_t countTraceEvents(std::istream& in, TraceFormat format) {
+  const std::unique_ptr<TraceGenerator> reader = makeTraceReader(in, format);
+  Event event;
+  std::int64_t count = 0;
+  while (reader->next(&event)) ++count;
+  return count;
 }
 
 }  // namespace rlslb::workload

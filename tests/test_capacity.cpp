@@ -1,0 +1,283 @@
+// capacity/: the CompactAllocator + CapacityLoop equivalence contract --
+// byte-identical loads, counters, and gap trajectories against the dense
+// OnlineAllocator + ShardedEventLoop across the full (trace, seed, shards,
+// threads, apply mode) differential matrix -- plus the compact layout's
+// internal invariants, resident-byte accounting, and the budget-gate
+// estimator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capacity/capacity_loop.hpp"
+#include "capacity/compact_allocator.hpp"
+#include "runner/thread_pool.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/online_allocator.hpp"
+#include "workload/compose.hpp"
+#include "workload/generators.hpp"
+
+namespace rlslb::capacity {
+namespace {
+
+constexpr std::int64_t kBins = 48;
+constexpr std::int64_t kEvents = 6000;
+constexpr std::int64_t kEpochEvents = 256;
+constexpr int kRepair = 4;
+
+workload::OpenTraceOptions traceOptions() {
+  workload::OpenTraceOptions o;
+  o.bins = kBins;
+  o.arrivalRatePerBin = 1.0;
+  o.departureRate = 0.25;
+  o.resampleRate = 1.0;
+  o.ballWeight = 1;  // the compact layout is unit-weight by design
+  o.maxEvents = kEvents;
+  return o;
+}
+
+struct Outcome {
+  std::vector<std::int64_t> loads;
+  serve::ServeCounters counters;
+  std::int64_t liveBalls = 0;
+  std::int64_t totalLoad = 0;
+  std::int64_t flushedBins = 0;
+  std::vector<std::int64_t> gapTrajectory;
+  std::int64_t residentBytes = 0;
+};
+
+void expectEqualOutcomes(const Outcome& compact, const Outcome& dense,
+                         const std::string& label) {
+  EXPECT_EQ(compact.loads, dense.loads) << label;
+  EXPECT_EQ(compact.liveBalls, dense.liveBalls) << label;
+  EXPECT_EQ(compact.totalLoad, dense.totalLoad) << label;
+  EXPECT_EQ(compact.flushedBins, dense.flushedBins) << label;
+  EXPECT_EQ(compact.gapTrajectory, dense.gapTrajectory) << label;
+  const serve::ServeCounters& a = compact.counters;
+  const serve::ServeCounters& b = dense.counters;
+  EXPECT_EQ(a.events, b.events) << label;
+  EXPECT_EQ(a.arrivals, b.arrivals) << label;
+  EXPECT_EQ(a.departures, b.departures) << label;
+  EXPECT_EQ(a.resamples, b.resamples) << label;
+  EXPECT_EQ(a.migrations, b.migrations) << label;
+  EXPECT_EQ(a.rejectedMoves, b.rejectedMoves) << label;
+  EXPECT_EQ(a.repairAttempts, b.repairAttempts) << label;
+  EXPECT_EQ(a.repairMigrations, b.repairMigrations) << label;
+}
+
+Outcome runCompact(const std::string& spec, std::uint64_t seed) {
+  workload::ComposedTrace trace(traceOptions(), spec, seed);
+  CompactOptions options;
+  options.bins = kBins;
+  options.arrivalChoices = 2;
+  CompactAllocator allocator(options);
+  CapacityLoopOptions loopOptions;
+  loopOptions.epochEvents = kEpochEvents;
+  loopOptions.repairMovesPerEpoch = kRepair;
+  loopOptions.seed = seed;
+  CapacityLoop loop(allocator, loopOptions);
+  Outcome out;
+  const CapacityLoop::RunResult result = loop.run(trace, [&](const serve::EpochStats& s) {
+    out.gapTrajectory.push_back(s.gap());
+  });
+  EXPECT_EQ(result.events, kEvents);
+  EXPECT_TRUE(allocator.validate());
+  out.loads = allocator.loadsCopy();
+  out.counters = allocator.counters();
+  out.liveBalls = allocator.liveBalls();
+  out.totalLoad = allocator.totalLoad();
+  out.flushedBins = allocator.flushedBins();
+  out.residentBytes = allocator.residentBytes();
+  return out;
+}
+
+Outcome runDense(const std::string& spec, std::uint64_t seed, int shards, int threads,
+                 serve::ApplyMode applyMode) {
+  workload::ComposedTrace trace(traceOptions(), spec, seed);
+  serve::AllocatorOptions options;
+  options.bins = kBins;
+  options.arrivalChoices = 2;
+  serve::OnlineAllocator allocator(options);
+  serve::LoopOptions loopOptions;
+  loopOptions.shards = shards;
+  loopOptions.epochEvents = kEpochEvents;
+  loopOptions.repairMovesPerEpoch = kRepair;
+  loopOptions.seed = seed;
+  loopOptions.applyMode = applyMode;
+  runner::ThreadPool pool(threads);
+  serve::ShardedEventLoop loop(allocator, loopOptions, pool);
+  Outcome out;
+  const serve::ShardedEventLoop::RunResult result =
+      loop.run(trace, [&](const serve::EpochStats& s) {
+        out.gapTrajectory.push_back(s.gap());
+      });
+  EXPECT_EQ(result.events, kEvents);
+  EXPECT_TRUE(allocator.validate());
+  out.loads = allocator.loads();
+  out.counters = allocator.counters();
+  out.liveBalls = allocator.liveBalls();
+  out.totalLoad = allocator.totalLoad();
+  out.flushedBins = allocator.flushedBins();
+  out.residentBytes = allocator.residentBytes();
+  return out;
+}
+
+// The tentpole contract: for every trace shape and seed, the compact
+// backend equals the dense one run at ANY (shards, threads, apply mode).
+TEST(CompactAllocator, MatchesDenseAcrossTheDifferentialMatrix) {
+  const std::vector<std::string> specs = {
+      "poisson",
+      "diurnal(0.8,64)",
+      "bursty(8,0.05,0.5)",
+      "diurnal(0.8,64)*bursty(8,0.05,0.5)+hotspot(16,8,1)",
+  };
+  const std::vector<std::uint64_t> seeds = {1, 20170529};
+  struct DenseConfig {
+    int shards;
+    int threads;
+    serve::ApplyMode mode;
+  };
+  const std::vector<DenseConfig> configs = {
+      {1, 1, serve::ApplyMode::kSequential},
+      {4, 1, serve::ApplyMode::kSequential},
+      {4, 2, serve::ApplyMode::kPartitioned},
+      {8, 2, serve::ApplyMode::kPartitioned},
+  };
+  for (const std::string& spec : specs) {
+    for (const std::uint64_t seed : seeds) {
+      const Outcome compact = runCompact(spec, seed);
+      EXPECT_GT(compact.counters.events, 0);
+      for (const DenseConfig& cfg : configs) {
+        const std::string label = spec + " seed=" + std::to_string(seed) +
+                                  " shards=" + std::to_string(cfg.shards) +
+                                  " threads=" + std::to_string(cfg.threads);
+        const Outcome dense = runDense(spec, seed, cfg.shards, cfg.threads, cfg.mode);
+        expectEqualOutcomes(compact, dense, label);
+      }
+    }
+  }
+}
+
+TEST(CompactAllocator, RepairStreamMatchesDense) {
+  // Heavier repair pressure: the repair draw sequence (ticket -> Fenwick
+  // upperBound -> in-bin slot -> candidate bin) is where the chunked lists
+  // and the global Fenwick must reproduce the dense order exactly.
+  workload::ComposedTrace compactTrace(traceOptions(), "poisson", 11);
+  CompactOptions copt;
+  copt.bins = kBins;
+  CompactAllocator compact(copt);
+  CapacityLoopOptions clo;
+  clo.epochEvents = 64;
+  clo.repairMovesPerEpoch = 32;
+  clo.seed = 11;
+  CapacityLoop cloop(compact, clo);
+  cloop.run(compactTrace);
+
+  workload::ComposedTrace denseTrace(traceOptions(), "poisson", 11);
+  serve::AllocatorOptions dopt;
+  dopt.bins = kBins;
+  serve::OnlineAllocator dense(dopt);
+  serve::LoopOptions dlo;
+  dlo.shards = 4;
+  dlo.epochEvents = 64;
+  dlo.repairMovesPerEpoch = 32;
+  dlo.seed = 11;
+  runner::ThreadPool pool(1);
+  serve::ShardedEventLoop dloop(dense, dlo, pool);
+  dloop.run(denseTrace);
+
+  EXPECT_EQ(compact.loadsCopy(), dense.loads());
+  EXPECT_EQ(compact.counters().repairAttempts, dense.counters().repairAttempts);
+  EXPECT_EQ(compact.counters().repairMigrations, dense.counters().repairMigrations);
+  EXPECT_TRUE(compact.validate());
+}
+
+TEST(CompactAllocator, InvertedAcceptanceStaysEquivalent) {
+  const std::uint64_t seed = 5;
+  workload::ComposedTrace compactTrace(traceOptions(), "poisson", seed);
+  CompactOptions copt;
+  copt.bins = kBins;
+  copt.invertAcceptance = true;
+  CompactAllocator compact(copt);
+  CapacityLoopOptions clo;
+  clo.epochEvents = kEpochEvents;
+  clo.seed = seed;
+  CapacityLoop cloop(compact, clo);
+  cloop.run(compactTrace);
+
+  workload::ComposedTrace denseTrace(traceOptions(), "poisson", seed);
+  serve::AllocatorOptions dopt;
+  dopt.bins = kBins;
+  dopt.invertAcceptance = true;
+  serve::OnlineAllocator dense(dopt);
+  serve::LoopOptions dlo;
+  dlo.shards = 1;
+  dlo.epochEvents = kEpochEvents;
+  dlo.seed = seed;
+  runner::ThreadPool pool(1);
+  serve::ShardedEventLoop dloop(dense, dlo, pool);
+  dloop.run(denseTrace);
+
+  EXPECT_EQ(compact.loadsCopy(), dense.loads());
+  EXPECT_EQ(compact.counters().migrations, dense.counters().migrations);
+}
+
+TEST(CompactAllocator, ResidentBytesBeatDenseAndEstimateTracksActual) {
+  const Outcome compact = runCompact("poisson", 2);
+  const Outcome dense = runDense("poisson", 2, 1, 1, serve::ApplyMode::kSequential);
+  // The whole point of the backend: materially fewer bytes for the same
+  // observable state.
+  EXPECT_LT(compact.residentBytes, dense.residentBytes);
+  EXPECT_GT(compact.residentBytes, 0);
+
+  // The budget-gate estimator should land within ~2x of a real run (it
+  // sizes the gate, not the ledger).
+  const std::int64_t ballsEver = compact.counters.arrivals;
+  const std::int64_t estimate =
+      CompactAllocator::estimateBytes(kBins, ballsEver, compact.liveBalls);
+  EXPECT_GT(estimate, compact.residentBytes / 3);
+  EXPECT_LT(estimate, compact.residentBytes * 3);
+  // Monotone in every argument.
+  EXPECT_LE(estimate, CompactAllocator::estimateBytes(kBins * 2, ballsEver, compact.liveBalls));
+  EXPECT_LE(estimate, CompactAllocator::estimateBytes(kBins, ballsEver * 2, compact.liveBalls));
+  EXPECT_LE(estimate,
+            CompactAllocator::estimateBytes(kBins, ballsEver, compact.liveBalls * 2));
+}
+
+TEST(CompactAllocator, ValidateCatchesFreshAndRunStates) {
+  CompactOptions options;
+  options.bins = 8;
+  CompactAllocator allocator(options);
+  EXPECT_TRUE(allocator.validate());
+  EXPECT_EQ(allocator.numBins(), 8);
+  EXPECT_EQ(allocator.totalLoad(), 0);
+  EXPECT_EQ(allocator.liveBalls(), 0);
+  EXPECT_EQ(allocator.gap(), 0);
+
+  // Drive a tiny hand-built batch: arrivals, a resample, a departure.
+  rng::Xoshiro256pp eng(3);
+  std::vector<workload::Event> events;
+  std::vector<serve::Decision> decisions;
+  for (std::int64_t ball = 0; ball < 6; ++ball) {
+    events.push_back({static_cast<double>(ball), workload::EventKind::kArrive, ball, 1});
+  }
+  events.push_back({6.0, workload::EventKind::kResample, 2, 0});
+  events.push_back({7.0, workload::EventKind::kDepart, 0, 0});
+  decisions.resize(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    decisions[i] = allocator.decide(events[i], eng);
+  }
+  allocator.applyBatch(events.data(), decisions.data(), events.size());
+  allocator.flush();
+  EXPECT_TRUE(allocator.validate());
+  EXPECT_EQ(allocator.totalLoad(), 5);
+  EXPECT_EQ(allocator.liveBalls(), 5);
+  EXPECT_EQ(allocator.counters().arrivals, 6);
+  EXPECT_EQ(allocator.counters().departures, 1);
+  EXPECT_EQ(allocator.maxWeightSeen(), 1);
+}
+
+}  // namespace
+}  // namespace rlslb::capacity
